@@ -1,0 +1,26 @@
+"""Ablation: the regularisation strength lambda (paper: 0.5).
+
+Section IV-D notes that naive maximum likelihood over-fits severely; the
+penalised objective (eq. 6) fixes it.  Very strong regularisation instead
+under-fits towards the per-parameter marginal mode.
+"""
+
+from conftest import emit, loo_average_ratio
+
+
+def test_ablation_regularisation(ablation_pipeline, benchmark):
+    lambdas = (0.0, 0.5, 50.0)
+
+    def run():
+        return {lam: loo_average_ratio(ablation_pipeline,
+                                       regularization=lam)
+                for lam in lambdas}
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"  lambda {lam:>5.1f}: average ratio {ratios[lam]:.2f}x"
+             for lam in lambdas]
+    emit("Ablation: regularisation lambda (paper uses 0.5)",
+         "\n".join(lines))
+    assert all(r > 0.8 for r in ratios.values())
+    # The paper's choice performs at least as well as heavy shrinkage.
+    assert ratios[0.5] >= ratios[50.0] - 0.05

@@ -1,0 +1,37 @@
+"""Extension (section X): per-structure adaptation frequencies.
+
+The paper's future-work question: with a substrate that can reconfigure
+each resource at its own frequency, how often should each structure
+adapt?  This bench measures per-parameter optimal-value churn across a
+phase-varying benchmark's intervals and weighs it against the Table V
+costs.  Expected shape: cheap core structures (IQ/ROB/predictor) can
+re-adapt at phase granularity; the L2 should adapt an order of magnitude
+less often.
+"""
+
+from conftest import emit
+
+from repro.control import analyze_adaptation_frequencies
+
+
+def test_ext_adaptation_frequency(pipeline, benchmark):
+    program = pipeline.programs["galgel"]  # large phase variation
+
+    result = benchmark.pedantic(
+        analyze_adaptation_frequencies,
+        args=(program, pipeline.baseline_config),
+        kwargs={"max_intervals": 10},
+        rounds=1, iterations=1,
+    )
+    emit("Extension: per-structure adaptation frequencies (section X)",
+         result.render())
+    structures = result.structures
+    assert len(structures) == 14
+    # Something churns on galgel...
+    assert any(c.change_rate > 0.2 for c in structures.values())
+    # ...and recommendations respect reconfiguration costs: the L2 never
+    # gets a shorter interval than the cheapest structure at equal churn.
+    cheapest = min(structures.values(), key=lambda c: c.reconfig_cycles)
+    l2 = structures["l2_size"]
+    if l2.change_rate >= cheapest.change_rate:
+        assert l2.recommended_interval >= 1

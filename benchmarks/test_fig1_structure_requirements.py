@@ -1,0 +1,34 @@
+"""Figure 1: optimal IQ/RF sizes over time at fixed widths 8 and 4.
+
+Paper shape: the optimal sizes change over time, differ between widths
+for some applications (gap) and not others (applu), and IQ and RF optima
+are not mutually correlated.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.figures import figure1
+
+
+def test_fig1_structure_requirements(pipeline, benchmark):
+    result = benchmark.pedantic(
+        figure1, args=(pipeline,),
+        kwargs={"n_intervals": 12}, rounds=1, iterations=1,
+    )
+    emit("Figure 1 (paper: optima vary over time and with width)",
+         result.render())
+    assert result.programs  # at least one of gap/applu/mgrid present
+    varies_over_time = False
+    width_dependent = False
+    for program in result.programs:
+        for width in result.widths:
+            iq, rf = result.series[program][width]
+            if len(set(iq)) > 1 or len(set(rf)) > 1:
+                varies_over_time = True
+        iq8, rf8 = result.series[program][8]
+        iq4, rf4 = result.series[program][4]
+        if iq8 != iq4 or rf8 != rf4:
+            width_dependent = True
+    assert varies_over_time, "optimal sizes should change across intervals"
+    assert width_dependent, "optimal sizes should depend on the width"

@@ -1,0 +1,33 @@
+"""Figure 3: load/store queue counters for four phases.
+
+Paper shape: for well-behaved FP phases (mgrid, swim) the efficiency-best
+LSQ size tracks the occupancy histogram directly; speculative integer
+phases (parser, vortex) hold many mis-speculated entries and want small
+queues regardless of raw occupancy.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure3
+
+
+def test_fig3_lsq_counters(pipeline, benchmark):
+    result = benchmark.pedantic(figure3, args=(pipeline,), rounds=1,
+                                iterations=1)
+    emit("Figure 3 (paper: mgrid 32, swim 72, parser 16, vortex 16)",
+         result.render())
+    assert len(result.phases) >= 3
+    for label, data in result.phases.items():
+        # The efficiency curve is normalised and peaks at the best size.
+        values = [v for _, v in data["efficiency_curve"]]
+        assert max(values) == 1.0
+        assert data["best_lsq"] in dict(data["efficiency_curve"])
+        assert 0.0 <= data["misspeculated_frac"] <= 1.0
+    spec_phases = [d for l, d in result.phases.items()
+                   if l.startswith(("parser", "vortex"))]
+    fp_phases = [d for l, d in result.phases.items()
+                 if l.startswith(("mgrid", "swim"))]
+    if spec_phases and fp_phases:
+        # Speculative integer codes mis-speculate more than FP loops.
+        avg = lambda rows: sum(d["misspeculated_frac"] for d in rows) / len(rows)
+        assert avg(spec_phases) > avg(fp_phases)

@@ -1,0 +1,30 @@
+"""Figure 4: model efficiency vs the best overall static configuration.
+
+Paper shape: ~2x average with the advanced (temporal histogram) counters,
+~1.3x with basic counters; several benchmarks above 4x (vortex, art,
+equake) and mcf highest; at most a couple of benchmarks slightly below the
+static baseline (eon, lucas).
+"""
+
+from conftest import emit
+
+from repro.experiments.baselines import geomean
+from repro.experiments.figures import figure4
+
+
+def test_fig4_efficiency(pipeline, benchmark):
+    result = benchmark.pedantic(figure4, args=(pipeline,), rounds=1,
+                                iterations=1)
+    emit("Figure 4 (paper: basic 1.3x, advanced 2x)", result.render())
+
+    # The model clearly beats the best static configuration on average.
+    assert result.advanced_average > 1.25
+    # Advanced counters are at least as good as basic ones (the paper
+    # shows a large gap; see EXPERIMENTS.md for why ours is small).
+    assert result.advanced_average >= 0.92 * result.basic_average
+    # Most benchmarks gain; a small minority may lose slightly (eon/lucas
+    # in the paper).
+    losers = [n for n, r in result.advanced.items() if r < 0.95]
+    assert len(losers) <= max(2, len(result.advanced) // 5)
+    # Some benchmarks gain strongly.
+    assert max(result.advanced.values()) > 2.0

@@ -1,0 +1,26 @@
+"""Figure 7: per-phase efficiency distributions and ECDFs.
+
+Paper shape: (a) ~80% of phases beat the baseline, ~33% reach 2x, a few
+phases reach very large gains; (b) half the phases achieve >= 74% of the
+sampled best, and ~9% actually *beat* the best found by sampling (the
+prediction generalises beyond the training sample).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure7
+
+
+def test_fig7_phase_accuracy(pipeline, benchmark):
+    result = benchmark.pedantic(figure7, args=(pipeline,), rounds=1,
+                                iterations=1)
+    emit("Figure 7 (paper: 80% beat baseline; 33% >=2x; median 0.74 of "
+         "best; 9% beat sampled best)", result.render())
+    n_phases = len(result.ratios_vs_baseline)
+    assert n_phases == len(pipeline.phase_keys)
+    # (a) vs baseline.
+    assert result.frac_better_than_baseline > 0.6
+    assert result.frac_at_least_2x > 0.1
+    # (b) vs sampled best.
+    assert result.median_fraction_of_best > 0.6
+    assert 0.0 < result.frac_better_than_sampled_best < 0.4

@@ -1,0 +1,30 @@
+"""Figure 8: best achievable efficiency with one parameter pinned.
+
+Paper shape: no single value of width / IQ size / I-cache size is best for
+more than ~a third of phases; pinning a popular value still costs some
+phases 40%+ of their optimum (the violin tails reach 0.3-0.6) — the
+"no one-size-fits-all" argument for adaptivity.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure8
+
+
+def test_fig8_parameter_violins(pipeline, benchmark):
+    result = benchmark.pedantic(figure8, args=(pipeline,), rounds=1,
+                                iterations=1)
+    emit("Figure 8 (paper: width 2 best 22%, width 4 best 32%; tails to "
+         "0.3)", result.render())
+    for parameter, per_value in result.distributions.items():
+        shares = [stats["best_share"] for stats in per_value.values()]
+        assert sum(shares) > 0.99  # every phase counted once
+        # No single value dominates everywhere.
+        assert max(shares) < 0.9, parameter
+        # Pinning some value costs some phase dearly (violin tails).
+        worst_min = min(stats["min"] for stats in per_value.values())
+        assert worst_min < 0.75, parameter
+        # Medians are sane fractions of the optimum.
+        for stats in per_value.values():
+            assert 0.0 <= stats["min"] <= stats["q1"] <= stats["median"] \
+                <= stats["q3"] <= 1.0 + 1e-9

@@ -1,0 +1,25 @@
+"""Section VIII: end-to-end controller overheads.
+
+Paper shape: reconfiguration happens roughly once every ten intervals, and
+the profiling + reconfiguration overheads amortise to a negligible
+fraction of runtime and energy.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import section8_overheads
+
+
+def test_sec8_runtime_overheads(pipeline, benchmark):
+    result = benchmark.pedantic(
+        section8_overheads, args=(pipeline,),
+        kwargs={"programs": tuple(pipeline.benchmark_names[:3]),
+                "max_intervals": 25},
+        rounds=1, iterations=1,
+    )
+    emit("Section VIII (paper: ~1 reconfiguration / 10 intervals, "
+         "overheads ~3% per reconfigured interval, amortised below 1%)",
+         result.render())
+    assert 0.0 < result.reconfiguration_rate <= 0.6
+    assert result.time_overhead < 0.05
+    assert result.energy_overhead < 0.05

@@ -1,0 +1,19 @@
+"""Table I: the design space definition and its sampling cost."""
+
+from conftest import emit
+
+from repro.config import DesignSpace
+from repro.experiments.figures import table1
+
+
+def test_table1_design_space(benchmark):
+    result = benchmark(table1)
+    emit("Table I (paper: 14 parameters, 627bn points)", result.render())
+    assert result.total == 626_688_000_000
+    assert len(result.rows) == 14
+
+
+def test_random_sampling_throughput(benchmark):
+    space = DesignSpace(seed=0)
+    sample = benchmark(space.random_sample, 200)
+    assert len(sample) == 200

@@ -1,0 +1,26 @@
+"""Table III: the best overall static configuration.
+
+Paper row: W4 ROB144 IQ48 LSQ32 RF160 rd4 wr1 G16K BTB1K Br24 I64K D32K
+L2 1M depth 12.  The exact values depend on the workload substrate; the
+shape check is that the baseline is a *mid-range compromise*, not a corner
+of the space.
+"""
+
+from conftest import emit
+
+from repro.config import TABLE1_PARAMETERS
+from repro.experiments.figures import table3
+
+
+def test_table3_baseline(pipeline, benchmark):
+    result = benchmark(table3, pipeline)
+    emit("Table III (paper: W4 ROB144 IQ48 LSQ32 RF160 ... I64K D32K L21M)",
+         result.render())
+    config = result.config
+    at_extreme = sum(
+        1 for p in TABLE1_PARAMETERS
+        if config[p.name] in (p.minimum, p.maximum)
+    )
+    assert at_extreme <= 7, "baseline should be a compromise, not a corner"
+    assert config.width in (2, 4, 6)  # paper: 4
+    assert config.rob_size >= 64  # a capable out-of-order core

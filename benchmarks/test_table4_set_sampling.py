@@ -1,0 +1,25 @@
+"""Table IV: dynamic set sampling requirements per cache per feature.
+
+Paper shape: a handful of sets suffices (e.g. 4 sets for the data cache's
+set-reuse histogram, 256 for the I-cache's); the sampled-set counts are
+tiny fractions of each cache's total sets.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import table4
+
+
+def test_table4_set_sampling(pipeline, benchmark):
+    result = benchmark.pedantic(
+        table4, args=(pipeline,), kwargs={"max_traces": 8}, rounds=1,
+        iterations=1,
+    )
+    emit("Table IV (paper: D$ set-reuse needs only 4 sampled sets)",
+         result.render())
+    totals = {"icache": 512, "dcache": 512, "l2": 8192}  # profiling config
+    for (cache, feature), sets in result.sampled_sets.items():
+        assert 1 <= sets <= totals[cache]
+        assert sets & (sets - 1) == 0
+    # Sampling is a real saving for the big L2.
+    assert result.sampled_sets[("l2", "set_reuse")] < totals["l2"]

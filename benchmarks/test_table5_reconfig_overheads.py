@@ -1,0 +1,27 @@
+"""Table V: reconfiguration overhead per structure, in cycles.
+
+Paper rows: width 443, RF 487, bpred 154, ROB 255, IQ/LSQ 234/275,
+I$/D$ 478/620, L2 18322.  Shape: the predictor reconfigures fastest, the
+small core structures in hundreds of cycles, and the L2 is orders of
+magnitude slower (dominated by powering ~100M transistors).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import table5
+
+
+def test_table5_reconfig_overheads(pipeline, benchmark):
+    result = benchmark(table5, pipeline)
+    emit("Table V (paper: bpred 154 ... caches ~500 ... L2 18322 cycles)",
+         result.render())
+    cycles = result.cycles
+    # Ordering: predictor fast, core structures moderate, L2 slowest.
+    assert cycles["btb"] <= cycles["icache"]
+    assert cycles["gshare"] < cycles["l2"]
+    assert cycles["iq"] < cycles["l2"]
+    assert cycles["l2"] == max(cycles.values())
+    # Magnitudes: small structures in O(100) cycles, L2 in O(10_000).
+    assert cycles["iq"] < 2_000
+    assert cycles["l2"] > 5_000
+    assert cycles["l2"] > 10 * cycles["dcache"]

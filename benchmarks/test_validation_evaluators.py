@@ -1,0 +1,26 @@
+"""Substitution check: cycle-level core vs interval evaluator.
+
+All sweep/oracle/model comparisons use the fast interval evaluator; the
+cycle-level core is the reference.  This bench verifies that the two rank
+configurations consistently (positive rank correlation per phase) so the
+relative results — who wins, by roughly what factor — carry over.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import evaluator_validation
+
+
+def test_validation_evaluators(pipeline, benchmark):
+    result = benchmark.pedantic(
+        evaluator_validation, args=(pipeline,),
+        kwargs={"n_phases": 5, "n_configs": 10}, rounds=1, iterations=1,
+    )
+    emit("Evaluator validation (substitution check, see DESIGN.md)",
+         result.render())
+    assert result.mean_rank_correlation > 0.5
+    positive = [c for c in result.rank_correlations.values() if c > 0.3]
+    assert len(positive) >= 0.8 * len(result.rank_correlations)
+    # IPC errors stay within ~2x on average.
+    for error in result.ipc_log_errors.values():
+        assert error < 1.5

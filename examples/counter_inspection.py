@@ -1,0 +1,56 @@
+"""Hardware-counter inspection: the Table II temporal histograms.
+
+Profiles four contrasting phases on the profiling configuration and prints
+their counters side by side — the figure 3 view of why temporal histograms
+beat scalar averages: two phases can share an average occupancy while their
+*distributions* demand different structure sizes.
+
+Run:  python examples/counter_inspection.py
+"""
+
+from repro import collect_counters, spec2000_suite, build_program
+
+
+def bar(fracs, width=30) -> str:
+    peak = max(max(fracs), 1e-9)
+    return "".join("#" if f > 0.66 * peak else
+                   "+" if f > 0.33 * peak else
+                   "." if f > 0.02 else " "
+                   for f in fracs)
+
+
+def main() -> None:
+    names = ("mgrid", "swim", "parser", "vortex")  # the figure 3 cast
+    print("profiling four phases on the profiling configuration...\n")
+    for name in names:
+        profile = spec2000_suite((name,))[0]
+        program = build_program(profile, n_phases=2, n_intervals=4,
+                                interval_length=8000)
+        counters = collect_counters(
+            program.phase_trace(0),
+            warm_trace=program.phase_warm_trace(0),
+        )
+        print(f"=== {name} (phase 0) ===")
+        print(f"  CPI {counters.cpi:.2f}   mispredict "
+              f"{counters.mispredict_rate:.1%}   "
+              f"D$ miss {counters.dcache_miss_rate:.1%}")
+        print(f"  LSQ usage      |{bar(counters.lsq_usage.normalized())}| "
+              f"avg {counters.avg_lsq_occupancy:.1f}")
+        print(f"  speculative    {counters.lsq_speculative_frac:.0%} of "
+              f"entries; {counters.lsq_misspeculated_frac:.0%} "
+              "mis-speculated")
+        print(f"  IQ usage       |{bar(counters.iq_usage.normalized())}| "
+              f"avg {counters.avg_iq_occupancy:.1f}")
+        print(f"  int registers  |{bar(counters.int_reg_usage.normalized())}|")
+        print(f"  D$ stack dist  |{bar(counters.dcache.stack_distance.normalized())}| "
+              "(log2 bins, 1 .. 64K)")
+        print(f"  L2 stack dist  |{bar(counters.l2.stack_distance.normalized())}|")
+        print(f"  BTB reuse      |{bar(counters.btb_reuse.normalized())}|")
+        print()
+    print("note how mgrid/swim fill the LSQ with useful work while "
+          "parser/vortex hold speculative entries —\nthe basis of the "
+          "paper's figure 3 example.")
+
+
+if __name__ == "__main__":
+    main()

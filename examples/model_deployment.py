@@ -1,0 +1,69 @@
+"""Model deployment: save, reload and quantise a trained predictor.
+
+Section VIII argues the predictor is hardware-friendly: prediction is an
+argmax of W^T x (a multiclass perceptron), and the weights quantise to
+8-bit signed integers.  This example trains a small predictor, round-trips
+it through an .npz file, quantises it, and shows the decisions agree.
+
+Run:  python examples/model_deployment.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    AdvancedFeatureExtractor,
+    ConfigurationPredictor,
+    DesignSpace,
+    IntervalEvaluator,
+    build_program,
+    characterize,
+    collect_counters,
+    spec2000_suite,
+)
+from repro.model import QuantizedPredictor, load_predictor, save_predictor
+
+
+def main() -> None:
+    space = DesignSpace(seed=5)
+    pool = space.random_sample(32)
+    evaluator = IntervalEvaluator()
+    extractor = AdvancedFeatureExtractor()
+
+    print("training on six phases of crafty + swim...")
+    features, evaluations = [], []
+    for name in ("crafty", "swim"):
+        program = build_program(spec2000_suite((name,))[0], n_phases=3,
+                                n_intervals=4, interval_length=5000)
+        for phase_id in range(3):
+            trace = program.phase_trace(phase_id)
+            counters = collect_counters(trace)
+            features.append(extractor.extract(counters))
+            char = characterize(trace)
+            evaluations.append({c: evaluator.evaluate(char, c).efficiency
+                                for c in pool})
+    predictor = ConfigurationPredictor(max_iterations=60)
+    predictor.fit_evaluations(features, evaluations)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_predictor(predictor, Path(tmp) / "adaptivity.npz")
+        size_kb = path.stat().st_size / 1024
+        print(f"saved {predictor.weight_count():,} weights to "
+              f"{path.name} ({size_kb:.1f} KB compressed)")
+        reloaded = load_predictor(path)
+
+    quantised = QuantizedPredictor(reloaded)
+    agreement = quantised.agreement(reloaded, features)
+    print(f"int8 storage: {quantised.storage_bytes / 1024:.1f} KB "
+          f"(paper: ~2KB for its ~2000 weights)")
+    print(f"decision agreement float vs int8: {agreement:.1%}")
+
+    x = features[0]
+    print("\nsample prediction (float):", reloaded.predict(x).describe())
+    print("sample prediction (int8): ", quantised.predict(x).describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Build the default-scale pipeline cache end to end."""
+import time
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.scale import ReproScale
+from repro.experiments.baselines import geomean
+
+t0 = time.time()
+pipe = ExperimentPipeline(ReproScale.default(), verbose=True)
+data = pipe.all_phase_data
+print(f"PHASES_DONE {len(data)} {time.time()-t0:.0f}s", flush=True)
+print("BASELINE", pipe.baseline_config.describe(), flush=True)
+for fs in ("advanced", "basic"):
+    t1 = time.time()
+    preds = pipe.predictions(fs)
+    ratios = pipe.suite_ratios(preds)
+    print(f"CV_{fs.upper()} {time.time()-t1:.0f}s avg={geomean(list(ratios.values())):.2f}", flush=True)
+oracle = pipe.suite_ratios(pipe.oracle)
+perprog = pipe.suite_ratios(pipe.per_program_assignment())
+print(f"ORACLE avg={geomean(list(oracle.values())):.2f}", flush=True)
+print(f"PERPROG avg={geomean(list(perprog.values())):.2f}", flush=True)
+print(f"TOTAL {time.time()-t0:.0f}s", flush=True)

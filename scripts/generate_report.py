@@ -1,0 +1,63 @@
+"""Regenerate every table and figure into reports/ (text form).
+
+Usage:
+    python scripts/generate_report.py [--quick]
+
+Builds (or loads from cache) the experiment pipeline and writes each
+experiment's rendered output to ``reports/<id>.txt`` plus a combined
+``reports/ALL.txt``.  The benchmark harness under ``benchmarks/`` runs the
+same generators with shape assertions; this script is the human-readable
+path.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentPipeline, ReproScale
+from repro.experiments import figures as F
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    scale = ReproScale.quick() if quick else ReproScale.default()
+    pipe = ExperimentPipeline(scale, verbose=True)
+    out_dir = Path("reports")
+    out_dir.mkdir(exist_ok=True)
+
+    jobs = [
+        ("table1", lambda: F.table1()),
+        ("figure1", lambda: F.figure1(pipe, n_intervals=12)),
+        ("figure3", lambda: F.figure3(pipe)),
+        ("table3", lambda: F.table3(pipe)),
+        ("figure4", lambda: F.figure4(pipe)),
+        ("figure5", lambda: F.figure5(pipe)),
+        ("figure6", lambda: F.figure6(pipe)),
+        ("figure7", lambda: F.figure7(pipe)),
+        ("figure8", lambda: F.figure8(pipe)),
+        ("table4", lambda: F.table4(pipe, max_traces=8)),
+        ("figure9", lambda: F.figure9(pipe)),
+        ("table5", lambda: F.table5(pipe)),
+        ("section8", lambda: F.section8_overheads(
+            pipe, programs=pipe.benchmark_names[:3], max_intervals=25)),
+        ("validation", lambda: F.evaluator_validation(pipe, n_phases=5,
+                                                      n_configs=10)),
+    ]
+
+    combined: list[str] = []
+    for name, job in jobs:
+        start = time.time()
+        print(f"[report] {name} ...", flush=True)
+        text = job().render()
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        combined.append(f"{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
+        print(f"[report] {name} done in {time.time() - start:.1f}s",
+              flush=True)
+    (out_dir / "ALL.txt").write_text("\n".join(combined))
+    print(f"[report] wrote {len(jobs)} experiments to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

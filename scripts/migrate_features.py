@@ -1,0 +1,19 @@
+"""Recompute cached features from stored counters, invalidate CV caches."""
+import time
+from repro.experiments.pipeline import ExperimentPipeline, FEATURE_EXTRACTORS
+from repro.experiments.scale import ReproScale
+
+t0 = time.time()
+pipe = ExperimentPipeline(ReproScale.default())
+for key in pipe.phase_keys:
+    ck = f"{pipe.scale.tag}/phase/{key[0]}/{key[1]}"
+    data = pipe.store.get(ck)
+    data.features = {n: ex.extract(data.counters)
+                     for n, ex in FEATURE_EXTRACTORS.items()}
+    pipe.store.put(ck, data)
+for fs in ("advanced", "basic"):
+    p = pipe.store._path(f"{pipe.scale.tag}/predictions/{fs}")
+    if p.exists(): p.unlink()
+p = pipe.store._path(f"{pipe.scale.tag}/full-predictor/advanced")
+if p.exists(): p.unlink()
+print(f"migrated in {time.time()-t0:.0f}s")

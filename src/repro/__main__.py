@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [--quick] [--experiment ID]`` — regenerate paper
+  tables/figures (all of them, or one by id: table1, figure4, ...).
+* ``space`` — print the Table I design space.
+* ``suite`` — list the synthetic benchmark suite and its phase axes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Predictive Model for Dynamic "
+                    "Microarchitectural Adaptivity Control' (MICRO 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate tables and figures")
+    report.add_argument("--quick", action="store_true",
+                        help="miniature scale (fast, for smoke testing)")
+    report.add_argument("--experiment", default=None,
+                        help="one experiment id (e.g. figure4); default all")
+
+    sub.add_parser("space", help="print the Table I design space")
+    sub.add_parser("suite", help="list the synthetic benchmark suite")
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentPipeline, ReproScale
+    from repro.experiments import figures as F
+
+    scale = ReproScale.quick() if args.quick else ReproScale.default()
+    pipe = ExperimentPipeline(scale, verbose=True)
+    generators = {
+        "table1": lambda: F.table1(),
+        "figure1": lambda: F.figure1(pipe, n_intervals=12),
+        "figure3": lambda: F.figure3(pipe),
+        "table3": lambda: F.table3(pipe),
+        "figure4": lambda: F.figure4(pipe),
+        "figure5": lambda: F.figure5(pipe),
+        "figure6": lambda: F.figure6(pipe),
+        "figure7": lambda: F.figure7(pipe),
+        "figure8": lambda: F.figure8(pipe),
+        "table4": lambda: F.table4(pipe, max_traces=8),
+        "figure9": lambda: F.figure9(pipe),
+        "table5": lambda: F.table5(pipe),
+        "section8": lambda: F.section8_overheads(
+            pipe, programs=pipe.benchmark_names[:3], max_intervals=25),
+        "validation": lambda: F.evaluator_validation(pipe),
+    }
+    if args.experiment is not None:
+        if args.experiment not in generators:
+            print(f"unknown experiment {args.experiment!r}; choose from: "
+                  + ", ".join(generators), file=sys.stderr)
+            return 2
+        print(generators[args.experiment]().render())
+        return 0
+    for name, generator in generators.items():
+        print("=" * 72)
+        print(generator().render())
+    return 0
+
+
+def _cmd_space() -> int:
+    from repro.experiments.figures import table1
+
+    print(table1().render())
+    return 0
+
+
+def _cmd_suite() -> int:
+    from repro.experiments.reporting import render_table
+    from repro.workloads import spec2000_suite
+
+    rows = [
+        (p.name, "FP" if p.is_fp else "INT", f"{p.variation:.2f}",
+         p.base.footprint_blocks, p.base.code_blocks,
+         f"{p.base.ilp_mean:.0f}", f"{p.base.scatter_frac:.2f}")
+        for p in spec2000_suite()
+    ]
+    print(render_table(
+        ["benchmark", "type", "variation", "footprint", "code blocks",
+         "ILP", "scatter"],
+        rows,
+        title="Synthetic SPEC CPU 2000 suite",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "space":
+        return _cmd_space()
+    if args.command == "suite":
+        return _cmd_suite()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

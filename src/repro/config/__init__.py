@@ -1,0 +1,38 @@
+"""The Table I microarchitectural design space.
+
+Public surface:
+
+* :class:`~repro.config.parameters.Parameter` and
+  :data:`~repro.config.parameters.TABLE1_PARAMETERS` — the fourteen
+  configurable parameters;
+* :class:`~repro.config.configuration.MicroarchConfig` — one design point;
+* :data:`~repro.config.configuration.PROFILING_CONFIG` — the profiling
+  configuration of section III-B1;
+* :class:`~repro.config.space.DesignSpace` — sampling and sweep moves.
+"""
+
+from repro.config.configuration import PROFILING_CONFIG, ConfigError, MicroarchConfig
+from repro.config.parameters import (
+    KIB,
+    MIB,
+    PARAMETER_NAMES,
+    TABLE1_PARAMETERS,
+    Parameter,
+    design_space_size,
+    parameter_by_name,
+)
+from repro.config.space import DesignSpace
+
+__all__ = [
+    "ConfigError",
+    "DesignSpace",
+    "KIB",
+    "MIB",
+    "MicroarchConfig",
+    "PARAMETER_NAMES",
+    "PROFILING_CONFIG",
+    "Parameter",
+    "TABLE1_PARAMETERS",
+    "design_space_size",
+    "parameter_by_name",
+]

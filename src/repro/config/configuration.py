@@ -1,0 +1,164 @@
+"""Concrete microarchitectural configurations.
+
+A :class:`MicroarchConfig` is one point of the Table I design space: a value
+assignment to all fourteen parameters.  Configurations are immutable,
+hashable (so they key result caches) and convert to/from index vectors for
+the machine-learning model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Mapping
+
+from repro.config.parameters import (
+    KIB,
+    MIB,
+    PARAMETER_NAMES,
+    parameter_by_name,
+)
+
+__all__ = ["MicroarchConfig", "PROFILING_CONFIG", "ConfigError"]
+
+
+class ConfigError(ValueError):
+    """Raised for value assignments outside the Table I design space."""
+
+
+@dataclass(frozen=True)
+class MicroarchConfig:
+    """A full processor configuration (one point of the design space).
+
+    Field order follows Table I.  Construction validates every field
+    against the legal values of its :class:`~repro.config.parameters.Parameter`.
+    """
+
+    width: int
+    rob_size: int
+    iq_size: int
+    lsq_size: int
+    rf_size: int
+    rf_rd_ports: int
+    rf_wr_ports: int
+    gshare_size: int
+    btb_size: int
+    branches: int
+    icache_size: int
+    dcache_size: int
+    l2_size: int
+    depth_fo4: int
+
+    def __post_init__(self) -> None:
+        for name in PARAMETER_NAMES:
+            parameter = parameter_by_name(name)
+            value = getattr(self, name)
+            if not parameter.contains(value):
+                raise ConfigError(
+                    f"{name}={value} is outside the design space; "
+                    f"allowed: {parameter.values}"
+                )
+
+    # -- conversions -----------------------------------------------------
+
+    def as_dict(self) -> dict[str, int]:
+        """Mapping of parameter name to value, in Table I order."""
+        return {name: getattr(self, name) for name in PARAMETER_NAMES}
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """Values in Table I parameter order."""
+        return tuple(getattr(self, name) for name in PARAMETER_NAMES)
+
+    def as_indices(self) -> tuple[int, ...]:
+        """Each parameter value encoded as its index in the allowed range."""
+        return tuple(
+            parameter_by_name(name).index_of(getattr(self, name))
+            for name in PARAMETER_NAMES
+        )
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, int]) -> "MicroarchConfig":
+        unknown = set(values) - set(PARAMETER_NAMES)
+        if unknown:
+            raise ConfigError(f"unknown parameters: {sorted(unknown)}")
+        missing = set(PARAMETER_NAMES) - set(values)
+        if missing:
+            raise ConfigError(f"missing parameters: {sorted(missing)}")
+        return cls(**dict(values))
+
+    @classmethod
+    def from_indices(cls, indices: tuple[int, ...]) -> "MicroarchConfig":
+        if len(indices) != len(PARAMETER_NAMES):
+            raise ConfigError(
+                f"expected {len(PARAMETER_NAMES)} indices, got {len(indices)}"
+            )
+        values = {}
+        for name, index in zip(PARAMETER_NAMES, indices):
+            parameter = parameter_by_name(name)
+            if not 0 <= index < parameter.cardinality:
+                raise ConfigError(f"index {index} out of range for {name}")
+            values[name] = parameter.values[index]
+        return cls(**values)
+
+    # -- manipulation ----------------------------------------------------
+
+    def with_value(self, name: str, value: int) -> "MicroarchConfig":
+        """Copy of this configuration with one parameter changed."""
+        if name not in PARAMETER_NAMES:
+            raise ConfigError(f"unknown parameter {name!r}")
+        return replace(self, **{name: value})
+
+    def __getitem__(self, name: str) -> int:
+        if name not in PARAMETER_NAMES:
+            raise KeyError(name)
+        return getattr(self, name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(PARAMETER_NAMES)
+
+    # -- display ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line summary mirroring the Table III row format."""
+        return (
+            f"W{self.width} ROB{self.rob_size} IQ{self.iq_size} "
+            f"LSQ{self.lsq_size} RF{self.rf_size} "
+            f"rd{self.rf_rd_ports} wr{self.rf_wr_ports} "
+            f"G{self.gshare_size // KIB}K BTB{self.btb_size // KIB}K "
+            f"Br{self.branches} I{self.icache_size // KIB}K "
+            f"D{self.dcache_size // KIB}K "
+            f"L2{self._format_l2()} FO4:{self.depth_fo4}"
+        )
+
+    def _format_l2(self) -> str:
+        if self.l2_size >= MIB:
+            return f"{self.l2_size // MIB}M"
+        return f"{self.l2_size // KIB}K"
+
+
+def _field_names() -> tuple[str, ...]:
+    return tuple(f.name for f in fields(MicroarchConfig))
+
+
+assert _field_names() == PARAMETER_NAMES, "config fields must mirror Table I"
+
+
+#: The profiling configuration of section III-B1: the largest structures and
+#: the highest level of branch speculation, so that internal resources do not
+#: saturate while hardware counters are gathered.  The pipeline depth is set
+#: to a mid-range 12 FO4; depth does not gate occupancy observation.
+PROFILING_CONFIG = MicroarchConfig(
+    width=8,
+    rob_size=160,
+    iq_size=80,
+    lsq_size=80,
+    rf_size=160,
+    rf_rd_ports=16,
+    rf_wr_ports=8,
+    gshare_size=32 * KIB,
+    btb_size=4 * KIB,
+    branches=32,
+    icache_size=128 * KIB,
+    dcache_size=128 * KIB,
+    l2_size=4 * MIB,
+    depth_fo4=12,
+)

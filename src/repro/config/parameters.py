@@ -1,0 +1,158 @@
+"""The microarchitectural design space of Table I.
+
+The paper varies fourteen microarchitectural parameters of an out-of-order
+superscalar processor, for a total design space of roughly 627 billion
+points.  Each parameter is described by a :class:`Parameter`: an ordered
+tuple of the discrete values it may take.  The full space, with the exact
+ranges and steps of Table I, is exposed as :data:`TABLE1_PARAMETERS`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "Parameter",
+    "TABLE1_PARAMETERS",
+    "PARAMETER_NAMES",
+    "parameter_by_name",
+    "design_space_size",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One configurable microarchitectural parameter.
+
+    Attributes:
+        name: Identifier used as the field name on
+            :class:`~repro.config.configuration.MicroarchConfig`.
+        values: The ordered tuple of discrete values the parameter may take
+            (ascending).
+        description: Human-readable description, as in Table I.
+    """
+
+    name: str
+    values: tuple[int, ...]
+    description: str = ""
+    _index: dict[int, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 2:
+            raise ValueError(f"parameter {self.name!r} needs at least two values")
+        if list(self.values) != sorted(set(self.values)):
+            raise ValueError(
+                f"parameter {self.name!r} values must be strictly ascending"
+            )
+        object.__setattr__(
+            self, "_index", {value: i for i, value in enumerate(self.values)}
+        )
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values ("Num" column of Table I)."""
+        return len(self.values)
+
+    @property
+    def minimum(self) -> int:
+        return self.values[0]
+
+    @property
+    def maximum(self) -> int:
+        return self.values[-1]
+
+    def index_of(self, value: int) -> int:
+        """Index of ``value`` within :attr:`values`.
+
+        Raises:
+            ValueError: if ``value`` is not an allowed setting.
+        """
+        try:
+            return self._index[value]
+        except KeyError:
+            raise ValueError(
+                f"{value} is not a legal value for parameter {self.name!r}; "
+                f"allowed: {self.values}"
+            ) from None
+
+    def contains(self, value: int) -> bool:
+        return value in self._index
+
+    def clip(self, value: int) -> int:
+        """Closest allowed value to ``value`` (ties resolve downward)."""
+        best = min(self.values, key=lambda v: (abs(v - value), v))
+        return best
+
+    def neighbours(self, value: int) -> tuple[int, ...]:
+        """The allowed values adjacent to ``value`` in the ordered range."""
+        i = self.index_of(value)
+        out = []
+        if i > 0:
+            out.append(self.values[i - 1])
+        if i + 1 < len(self.values):
+            out.append(self.values[i + 1])
+        return tuple(out)
+
+
+def _arange(lo: int, hi: int, step: int) -> tuple[int, ...]:
+    return tuple(range(lo, hi + 1, step))
+
+
+def _geometric(lo: int, hi: int, factor: int = 2) -> tuple[int, ...]:
+    values = []
+    v = lo
+    while v <= hi:
+        values.append(v)
+        v *= factor
+    return tuple(values)
+
+
+KIB = 1024
+MIB = 1024 * KIB
+
+#: The fourteen parameters of Table I, in table order.
+TABLE1_PARAMETERS: tuple[Parameter, ...] = (
+    Parameter("width", (2, 4, 6, 8), "Pipeline width (fetch/issue/commit)"),
+    Parameter("rob_size", _arange(32, 160, 8), "Reorder buffer entries"),
+    Parameter("iq_size", _arange(8, 80, 8), "Issue queue entries"),
+    Parameter("lsq_size", _arange(8, 80, 8), "Load/store queue entries"),
+    Parameter("rf_size", _arange(40, 160, 8), "Physical registers per file"),
+    Parameter("rf_rd_ports", _arange(2, 16, 2), "Register file read ports"),
+    Parameter("rf_wr_ports", _arange(1, 8, 1), "Register file write ports"),
+    Parameter(
+        "gshare_size", _geometric(1 * KIB, 32 * KIB), "Gshare predictor entries"
+    ),
+    Parameter("btb_size", (1 * KIB, 2 * KIB, 4 * KIB), "Branch target buffer entries"),
+    Parameter("branches", (8, 16, 24, 32), "In-flight branches allowed"),
+    Parameter(
+        "icache_size", _geometric(8 * KIB, 128 * KIB), "L1 instruction cache bytes"
+    ),
+    Parameter("dcache_size", _geometric(8 * KIB, 128 * KIB), "L1 data cache bytes"),
+    Parameter("l2_size", _geometric(256 * KIB, 4 * MIB), "Unified L2 cache bytes"),
+    Parameter("depth_fo4", _arange(9, 36, 3), "Pipeline depth as FO4 delay per stage"),
+)
+
+#: Parameter names in Table I order.
+PARAMETER_NAMES: tuple[str, ...] = tuple(p.name for p in TABLE1_PARAMETERS)
+
+_BY_NAME = {p.name: p for p in TABLE1_PARAMETERS}
+
+
+def parameter_by_name(name: str) -> Parameter:
+    """Look a :class:`Parameter` up by name.
+
+    Raises:
+        KeyError: if ``name`` is not one of the fourteen Table I parameters.
+    """
+    return _BY_NAME[name]
+
+
+def design_space_size(parameters: Sequence[Parameter] = TABLE1_PARAMETERS) -> int:
+    """Total number of points in the cross-product design space.
+
+    For :data:`TABLE1_PARAMETERS` this is 626,688,000,000 — the "627bn"
+    quoted in Table I of the paper.
+    """
+    return math.prod(p.cardinality for p in parameters)

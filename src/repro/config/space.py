@@ -1,0 +1,209 @@
+"""Design-space navigation and the paper's sampling protocol.
+
+Section V-C of the paper gathers training data by
+
+1. uniformly sampling 1000 random configurations,
+2. taking, for each phase, 200 random *local neighbours* of the best
+   configuration found so far, and
+3. sweeping each parameter of the per-phase best one at a time through all
+   of its possible values,
+
+for a total of 1,298 simulations per phase.  :class:`DesignSpace` implements
+those three moves (at configurable sizes) plus generic helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.config.configuration import MicroarchConfig
+from repro.config.parameters import (
+    TABLE1_PARAMETERS,
+    Parameter,
+    design_space_size,
+)
+
+__all__ = ["DesignSpace"]
+
+
+class DesignSpace:
+    """The Table I cross-product space with the paper's sampling moves.
+
+    Args:
+        parameters: the parameter set; defaults to Table I.
+        seed: seed for the internal random generator.  All sampling methods
+            are deterministic given the seed and call order.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter] = TABLE1_PARAMETERS,
+        seed: int = 0,
+    ) -> None:
+        self.parameters = tuple(parameters)
+        self._rng = np.random.default_rng(seed)
+
+    # -- basic facts -----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of points in the space (627bn for Table I)."""
+        return design_space_size(self.parameters)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.parameters)
+
+    # -- sampling moves --------------------------------------------------
+
+    def random_configuration(self) -> MicroarchConfig:
+        """One configuration sampled uniformly from the cross product."""
+        values = {
+            p.name: p.values[self._rng.integers(p.cardinality)]
+            for p in self.parameters
+        }
+        return MicroarchConfig.from_dict(values)
+
+    def random_sample(self, count: int, unique: bool = True) -> list[MicroarchConfig]:
+        """``count`` uniform random configurations (stage 1 of section V-C).
+
+        Args:
+            count: number of configurations to return.
+            unique: deduplicate draws (the space is so large that collisions
+                are rare, but small test spaces do collide).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        configs: list[MicroarchConfig] = []
+        seen: set[MicroarchConfig] = set()
+        attempts = 0
+        while len(configs) < count:
+            config = self.random_configuration()
+            attempts += 1
+            if unique:
+                if config in seen:
+                    if attempts > 50 * count + 100:
+                        break  # tiny space exhausted
+                    continue
+                seen.add(config)
+            configs.append(config)
+        return configs
+
+    def random_neighbours(
+        self,
+        centre: MicroarchConfig,
+        count: int,
+        mutation_rate: float = 0.25,
+    ) -> list[MicroarchConfig]:
+        """Random *local neighbours* of ``centre`` (stage 2 of section V-C).
+
+        Each neighbour perturbs a random subset of parameters by one step in
+        the ordered value range.  ``mutation_rate`` is the per-parameter
+        perturbation probability; at least one parameter always moves.
+        """
+        if not 0 < mutation_rate <= 1:
+            raise ValueError("mutation_rate must be in (0, 1]")
+        neighbours: list[MicroarchConfig] = []
+        seen: set[MicroarchConfig] = {centre}
+        attempts = 0
+        while len(neighbours) < count and attempts < 50 * count + 100:
+            attempts += 1
+            values = centre.as_dict()
+            moved = False
+            for parameter in self.parameters:
+                if self._rng.random() >= mutation_rate:
+                    continue
+                options = parameter.neighbours(values[parameter.name])
+                values[parameter.name] = options[self._rng.integers(len(options))]
+                moved = True
+            if not moved:
+                parameter = self.parameters[self._rng.integers(len(self.parameters))]
+                options = parameter.neighbours(values[parameter.name])
+                values[parameter.name] = options[self._rng.integers(len(options))]
+            config = MicroarchConfig.from_dict(values)
+            if config in seen:
+                continue
+            seen.add(config)
+            neighbours.append(config)
+        return neighbours
+
+    def one_at_a_time(self, centre: MicroarchConfig) -> list[MicroarchConfig]:
+        """Alter each parameter of ``centre`` to each of its other values
+        (stage 3 of section V-C).
+
+        Returns ``sum(cardinality - 1)`` = 97 configurations for Table I.
+        """
+        sweeps: list[MicroarchConfig] = []
+        for parameter in self.parameters:
+            current = centre[parameter.name]
+            for value in parameter.values:
+                if value != current:
+                    sweeps.append(centre.with_value(parameter.name, value))
+        return sweeps
+
+    def axis_sweep(
+        self, centre: MicroarchConfig, name: str
+    ) -> list[MicroarchConfig]:
+        """``centre`` with parameter ``name`` set to every allowed value."""
+        parameter = self._parameter(name)
+        return [centre.with_value(name, value) for value in parameter.values]
+
+    # -- search helpers --------------------------------------------------
+
+    def best_of(
+        self,
+        configs: Iterable[MicroarchConfig],
+        objective: Callable[[MicroarchConfig], float],
+    ) -> tuple[MicroarchConfig, float]:
+        """Configuration maximising ``objective`` among ``configs``.
+
+        Raises:
+            ValueError: if ``configs`` is empty.
+        """
+        best_config: MicroarchConfig | None = None
+        best_value = -np.inf
+        for config in configs:
+            value = objective(config)
+            if value > best_value:
+                best_config, best_value = config, value
+        if best_config is None:
+            raise ValueError("no configurations supplied")
+        return best_config, best_value
+
+    def training_protocol(
+        self,
+        pool: Sequence[MicroarchConfig],
+        objective: Callable[[MicroarchConfig], float],
+        neighbour_count: int = 200,
+        mutation_rate: float = 0.25,
+    ) -> list[MicroarchConfig]:
+        """The full section V-C protocol for one phase.
+
+        Starting from a shared random ``pool``, finds the best configuration
+        under ``objective``, adds ``neighbour_count`` random local
+        neighbours, re-selects the best of everything seen so far, and
+        finishes with a one-at-a-time sweep around it.  Returns the ordered
+        list of *additional* configurations (neighbours + sweeps) to
+        evaluate; the caller owns evaluation and caching.
+        """
+        if not pool:
+            raise ValueError("pool must not be empty")
+        best, _ = self.best_of(pool, objective)
+        neighbours = self.random_neighbours(best, neighbour_count, mutation_rate)
+        best_overall, _ = self.best_of(list(pool) + neighbours, objective)
+        sweeps = self.one_at_a_time(best_overall)
+        extra: list[MicroarchConfig] = []
+        seen = set(pool)
+        for config in neighbours + sweeps:
+            if config not in seen:
+                seen.add(config)
+                extra.append(config)
+        return extra
+
+    def _parameter(self, name: str) -> Parameter:
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        raise KeyError(name)

@@ -1,0 +1,39 @@
+"""Runtime adaptivity control: the figure 2 loop and its overhead models."""
+
+from repro.control.adaptation_frequency import (
+    AdaptationFrequencyAnalysis,
+    StructureChurn,
+    analyze_adaptation_frequencies,
+)
+from repro.control.controller import (
+    AdaptiveController,
+    ControllerReport,
+    CycleIntervalRunner,
+    FastIntervalRunner,
+    IntervalRecord,
+)
+from repro.control.overheads import (
+    CacheSamplingPlan,
+    plan_set_sampling,
+    sampling_energy_overheads,
+)
+from repro.control.reconfiguration import (
+    ReconfigurationCost,
+    ReconfigurationModel,
+)
+
+__all__ = [
+    "AdaptationFrequencyAnalysis",
+    "AdaptiveController",
+    "CacheSamplingPlan",
+    "ControllerReport",
+    "CycleIntervalRunner",
+    "FastIntervalRunner",
+    "IntervalRecord",
+    "ReconfigurationCost",
+    "ReconfigurationModel",
+    "StructureChurn",
+    "analyze_adaptation_frequencies",
+    "plan_set_sampling",
+    "sampling_energy_overheads",
+]

@@ -1,0 +1,151 @@
+"""Per-structure adaptation frequencies (section X, future directions).
+
+The paper's conclusion poses the follow-up question: *"Given a hardware
+substrate capable of reconfiguring itself at different frequencies for
+each resource, the challenge will be to find the degree of adaptation
+suitable for each hardware structure."*
+
+This module provides that analysis over a program's interval stream: for
+each Table I parameter it measures how often the *efficiency-optimal*
+value changes from one interval to the next, and weighs that churn against
+the structure's Table V reconfiguration cost.  The result is a recommended
+adaptation interval per structure — cheap, twitchy structures (issue
+queue, predictor) can re-adapt every phase change, while the L2 should
+only move when the gain persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.configuration import MicroarchConfig
+from repro.config.parameters import TABLE1_PARAMETERS, Parameter
+from repro.config.space import DesignSpace
+from repro.control.reconfiguration import ReconfigurationModel
+from repro.timing.characterize import characterize
+from repro.timing.interval import IntervalEvaluator
+from repro.workloads.program import Program
+
+__all__ = ["StructureChurn", "AdaptationFrequencyAnalysis",
+           "analyze_adaptation_frequencies"]
+
+
+@dataclass(frozen=True)
+class StructureChurn:
+    """Adaptation statistics for one parameter."""
+
+    parameter: str
+    change_rate: float  # optimal-value changes per interval transition
+    mean_step: float  # average |index delta| when it changes
+    reconfig_cycles: int  # Table V cost of a typical resize
+    recommended_interval: int  # adapt every N intervals
+
+    @property
+    def is_twitchy(self) -> bool:
+        return self.change_rate > 0.3
+
+
+@dataclass
+class AdaptationFrequencyAnalysis:
+    """Per-structure churn across a program's intervals."""
+
+    program: str
+    structures: dict[str, StructureChurn]
+
+    def render(self) -> str:
+        lines = [
+            f"Per-structure adaptation analysis for '{self.program}' "
+            "(section X future work)",
+            f"{'parameter':14s} {'change rate':>11s} {'mean step':>9s} "
+            f"{'reconfig cyc':>12s} {'adapt every':>11s}",
+        ]
+        for churn in self.structures.values():
+            lines.append(
+                f"{churn.parameter:14s} {churn.change_rate:>10.0%} "
+                f"{churn.mean_step:>9.1f} {churn.reconfig_cycles:>12d} "
+                f"{churn.recommended_interval:>8d} ivl"
+            )
+        return "\n".join(lines)
+
+
+def _optimal_value(
+    parameter: Parameter,
+    centre: MicroarchConfig,
+    char,
+    evaluator: IntervalEvaluator,
+    space: DesignSpace,
+) -> int:
+    best = max(
+        space.axis_sweep(centre, parameter.name),
+        key=lambda c: evaluator.evaluate(char, c).efficiency,
+    )
+    return best[parameter.name]
+
+
+def analyze_adaptation_frequencies(
+    program: Program,
+    centre: MicroarchConfig,
+    max_intervals: int = 16,
+    parameters: tuple[Parameter, ...] = TABLE1_PARAMETERS,
+) -> AdaptationFrequencyAnalysis:
+    """Measure per-parameter optimal-value churn over ``program``.
+
+    Args:
+        program: the interval stream to analyse.
+        centre: configuration around which each parameter is swept
+            (typically the best static baseline).
+        max_intervals: intervals to sample (spread over the whole run).
+        parameters: parameters to analyse.
+    """
+    if max_intervals < 2:
+        raise ValueError("need at least two intervals to measure churn")
+    evaluator = IntervalEvaluator()
+    space = DesignSpace()
+    reconfig = ReconfigurationModel()
+    count = min(max_intervals, program.n_intervals)
+    indices = [round(i * (program.n_intervals - 1) / max(count - 1, 1))
+               for i in range(count)]
+    chars = [characterize(program.interval_trace(i)) for i in indices]
+
+    table5 = reconfig.table5(centre)
+    param_structure = {
+        "width": "width", "rob_size": "rob", "iq_size": "iq",
+        "lsq_size": "lsq", "rf_size": "rf", "rf_rd_ports": "rf",
+        "rf_wr_ports": "rf", "gshare_size": "gshare", "btb_size": "btb",
+        "branches": "gshare", "icache_size": "icache",
+        "dcache_size": "dcache", "l2_size": "l2", "depth_fo4": "width",
+    }
+
+    structures: dict[str, StructureChurn] = {}
+    for parameter in parameters:
+        optima = [
+            _optimal_value(parameter, centre, char, evaluator, space)
+            for char in chars
+        ]
+        changes = 0
+        step_total = 0
+        for previous, current in zip(optima, optima[1:]):
+            if previous != current:
+                changes += 1
+                step_total += abs(parameter.index_of(current)
+                                  - parameter.index_of(previous))
+        transitions = len(optima) - 1
+        change_rate = changes / transitions
+        cycles = table5[param_structure[parameter.name]]
+        # Recommendation: re-adapt when the expected churn interval is
+        # longer than the time to amortise one reconfiguration.  A simple
+        # rule: 1/change_rate intervals, stretched for expensive
+        # structures (log factor of the Table V cost).
+        import math
+        base = 1.0 / max(change_rate, 1e-3)
+        stretch = 1.0 + math.log10(max(cycles, 10)) / 2.0
+        recommended = max(1, round(base * stretch))
+        structures[parameter.name] = StructureChurn(
+            parameter=parameter.name,
+            change_rate=change_rate,
+            mean_step=step_total / changes if changes else 0.0,
+            reconfig_cycles=cycles,
+            recommended_interval=min(recommended, 10 * count),
+        )
+    return AdaptationFrequencyAnalysis(program=program.name,
+                                       structures=structures)

@@ -1,0 +1,263 @@
+"""The runtime adaptivity controller — the figure 2 loop.
+
+Ties every substrate together, exactly as the paper describes:
+
+1. **Detect** (stage 1): an online :class:`~repro.phases.detector.PhaseDetector`
+   watches each interval's working-set signature for phase changes.
+2. **Profile** (stage 2): on entering an *unseen* phase, the interval runs
+   on the profiling configuration while Table II counters are gathered.
+3. **Predict & reconfigure** (stage 3): the counters feed the trained
+   soft-max :class:`~repro.model.predictor.ConfigurationPredictor`; the
+   hardware pays the Table V reconfiguration cost and continues on the
+   predicted configuration.  Recognised phases skip profiling and reuse
+   their stored prediction — which is why reconfiguration happens only
+   once every ~10 intervals on average.
+
+The controller accounts profiling and reconfiguration overheads explicitly
+(they can be disabled to measure their impact, section VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.configuration import PROFILING_CONFIG, MicroarchConfig
+from repro.control.reconfiguration import ReconfigurationModel
+from repro.counters.collector import collect_counters
+from repro.counters.features import FeatureExtractor
+from repro.model.predictor import ConfigurationPredictor
+from repro.phases.detector import PhaseDetector
+from repro.power.metrics import EfficiencyResult, energy_efficiency
+from repro.power.wattch import account
+from repro.timing.characterize import characterize
+from repro.timing.cycle import CycleSimulator
+from repro.timing.interval import IntervalEvaluator
+from repro.timing.resources import derive_machine_params
+from repro.workloads.program import Program
+from repro.workloads.trace import Trace
+
+__all__ = ["AdaptiveController", "ControllerReport", "IntervalRecord",
+           "FastIntervalRunner", "CycleIntervalRunner"]
+
+
+class FastIntervalRunner:
+    """Evaluates intervals with the interval-analysis model (default)."""
+
+    def __init__(self) -> None:
+        self._evaluator = IntervalEvaluator()
+
+    def run(self, trace: Trace, config: MicroarchConfig) -> EfficiencyResult:
+        return self._evaluator.evaluate(characterize(trace), config)
+
+
+class CycleIntervalRunner:
+    """Evaluates intervals with the cycle-level core (slow, reference)."""
+
+    def run(self, trace: Trace, config: MicroarchConfig) -> EfficiencyResult:
+        simulator = CycleSimulator(config)
+        result = simulator.run(trace)
+        report = account(result.activity, simulator.params, result.cycles)
+        return EfficiencyResult(
+            instructions=result.instructions,
+            cycles=result.cycles,
+            time_ns=result.time_ns,
+            energy_pj=report.total_pj,
+        )
+
+
+@dataclass
+class IntervalRecord:
+    """What happened during one interval."""
+
+    interval: int
+    phase_id: int
+    config: MicroarchConfig
+    profiled: bool
+    reconfigured: bool
+    time_ns: float
+    energy_pj: float
+    stall_ns: float = 0.0
+    reconfig_energy_pj: float = 0.0
+
+
+@dataclass
+class ControllerReport:
+    """Aggregate outcome of one adaptive run."""
+
+    records: list[IntervalRecord] = field(default_factory=list)
+
+    @property
+    def intervals(self) -> int:
+        return len(self.records)
+
+    @property
+    def time_ns(self) -> float:
+        return sum(r.time_ns + r.stall_ns for r in self.records)
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(r.energy_pj + r.reconfig_energy_pj for r in self.records)
+
+    @property
+    def profiling_intervals(self) -> int:
+        return sum(1 for r in self.records if r.profiled)
+
+    @property
+    def reconfigurations(self) -> int:
+        return sum(1 for r in self.records if r.reconfigured)
+
+    @property
+    def reconfiguration_rate(self) -> float:
+        """Reconfigurations per interval (paper: ~1 in 10)."""
+        return self.reconfigurations / max(self.intervals, 1)
+
+    def efficiency(self, total_instructions: int) -> float:
+        """ips^3/W over the whole run."""
+        ips = total_instructions / (self.time_ns * 1e-9)
+        watts = self.energy_pj / self.time_ns * 1e-3
+        return energy_efficiency(ips, watts)
+
+    @property
+    def overhead_time_ns(self) -> float:
+        return sum(r.stall_ns for r in self.records)
+
+    @property
+    def overhead_energy_pj(self) -> float:
+        return sum(r.reconfig_energy_pj for r in self.records)
+
+
+class AdaptiveController:
+    """Drives a program through the detect → profile → predict loop."""
+
+    def __init__(
+        self,
+        predictor: ConfigurationPredictor,
+        feature_extractor: FeatureExtractor,
+        detector: PhaseDetector | None = None,
+        runner: FastIntervalRunner | CycleIntervalRunner | None = None,
+        reconfiguration: ReconfigurationModel | None = None,
+        profiling_config: MicroarchConfig = PROFILING_CONFIG,
+        initial_config: MicroarchConfig | None = None,
+        overheads_enabled: bool = True,
+        paper_interval_instructions: int = 10_000_000,
+    ) -> None:
+        """Args other than the obvious:
+
+        paper_interval_instructions: the adaptation interval the overhead
+            model is calibrated against (the paper's SimPoint interval is
+            10M instructions).  Synthetic intervals are far shorter, so
+            absolute reconfiguration stalls are scaled by
+            ``interval_length / paper_interval_instructions`` to preserve
+            the paper's *relative* overhead; set to 0 to disable scaling.
+        """
+        if not predictor.is_trained:
+            raise ValueError("controller needs a trained predictor")
+        self.predictor = predictor
+        self.feature_extractor = feature_extractor
+        self.detector = detector or PhaseDetector()
+        self.runner = runner or FastIntervalRunner()
+        self.reconfiguration = reconfiguration or ReconfigurationModel()
+        self.profiling_config = profiling_config
+        self.initial_config = initial_config or profiling_config
+        self.overheads_enabled = overheads_enabled
+        self.paper_interval_instructions = paper_interval_instructions
+        self._phase_configs: dict[int, MicroarchConfig] = {}
+
+    def run(self, program: Program,
+            max_intervals: int | None = None) -> ControllerReport:
+        """Execute ``program`` adaptively; returns the accounting report."""
+        self.detector.reset()
+        self._phase_configs.clear()
+        report = ControllerReport()
+        current = self.initial_config
+        n_intervals = program.n_intervals
+        if max_intervals is not None:
+            n_intervals = min(n_intervals, max_intervals)
+
+        for interval in range(n_intervals):
+            trace = program.interval_trace(interval)
+            observation = self.detector.observe(trace)
+            profiled = False
+            target = current
+
+            if observation.phase_changed:
+                stored = self._phase_configs.get(observation.phase_id)
+                if stored is None:
+                    profiled = True
+                    target = self._profile_and_predict(trace)
+                    self._phase_configs[observation.phase_id] = target
+                else:
+                    target = stored
+
+            if profiled:
+                # The profiled part of the phase runs on the profiling
+                # configuration (section III-B1); the switch to the
+                # predicted configuration happens afterwards.
+                result = self.runner.run(trace, self.profiling_config)
+                executed_config = self.profiling_config
+            else:
+                # Recognised phases reconfigure immediately at the interval
+                # boundary and run on their stored configuration.
+                result = self.runner.run(trace, target)
+                executed_config = target
+
+            record = IntervalRecord(
+                interval=interval,
+                phase_id=observation.phase_id,
+                config=executed_config,
+                profiled=profiled,
+                reconfigured=False,
+                time_ns=result.time_ns,
+                energy_pj=result.energy_pj * 1e12,
+            )
+
+            if target != current or profiled:
+                cost = self.reconfiguration.cost(
+                    self.profiling_config if profiled else current, target
+                )
+                record.reconfigured = True
+                if self.overheads_enabled:
+                    scale = 1.0
+                    if self.paper_interval_instructions:
+                        scale = min(1.0, program.interval_length
+                                    / self.paper_interval_instructions)
+                    params = derive_machine_params(target)
+                    stall_ns = cost.stall_cycles * params.period_ns * scale
+                    idle_power_mw = (
+                        params.total_leakage_mw
+                        + params.clock_energy_pj_per_cycle / params.period_ns
+                    )
+                    record.stall_ns = stall_ns
+                    record.reconfig_energy_pj = (
+                        cost.energy_pj * scale + idle_power_mw * stall_ns
+                    )
+                current = target
+
+            report.records.append(record)
+        return report
+
+    def run_static(self, program: Program, config: MicroarchConfig,
+                   max_intervals: int | None = None) -> ControllerReport:
+        """Reference run: one fixed configuration, no adaptation."""
+        report = ControllerReport()
+        n_intervals = program.n_intervals
+        if max_intervals is not None:
+            n_intervals = min(n_intervals, max_intervals)
+        for interval in range(n_intervals):
+            trace = program.interval_trace(interval)
+            result = self.runner.run(trace, config)
+            report.records.append(IntervalRecord(
+                interval=interval,
+                phase_id=-1,
+                config=config,
+                profiled=False,
+                reconfigured=False,
+                time_ns=result.time_ns,
+                energy_pj=result.energy_pj * 1e12,
+            ))
+        return report
+
+    def _profile_and_predict(self, trace: Trace) -> MicroarchConfig:
+        counters = collect_counters(trace, self.profiling_config)
+        features = self.feature_extractor.extract(counters)
+        return self.predictor.predict(features)

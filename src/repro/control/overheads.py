@@ -1,0 +1,111 @@
+"""Counter-gathering overheads (section VIII, figure 9 and Table IV).
+
+Thin experiment layer over :mod:`repro.counters.sampling`: for each cache
+and each reuse-distance feature type, find the minimum sampled-set count
+that preserves histogram fidelity across the suite's phases (Table IV),
+then price the monitoring hardware's dynamic and leakage energy against
+the host cache (figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.configuration import PROFILING_CONFIG, MicroarchConfig
+from repro.counters.sampling import (
+    MonitorOverheads,
+    minimum_sampled_sets,
+    monitoring_overheads,
+)
+from repro.timing.resources import CACHE_BLOCK_BYTES
+from repro.workloads.trace import Trace
+
+__all__ = ["CacheSamplingPlan", "plan_set_sampling", "sampling_energy_overheads"]
+
+_FEATURES = ("set_reuse", "block_reuse")
+_CACHES = ("icache", "dcache", "l2")
+_ASSOC = {"icache": 4, "dcache": 4, "l2": 8}
+
+
+def _cache_size(config: MicroarchConfig, cache: str) -> int:
+    return {
+        "icache": config.icache_size,
+        "dcache": config.dcache_size,
+        "l2": config.l2_size,
+    }[cache]
+
+
+def _access_blocks(trace: Trace, cache: str) -> np.ndarray:
+    if cache == "icache":
+        pc_blocks = trace.pc // CACHE_BLOCK_BYTES
+        transitions = np.empty(len(trace), dtype=bool)
+        transitions[0] = True
+        transitions[1:] = pc_blocks[1:] != pc_blocks[:-1]
+        return pc_blocks[transitions]
+    if cache == "dcache":
+        return trace.addr[trace.is_mem] // CACHE_BLOCK_BYTES
+    # L2 sees both miss streams; the interleaved stream approximates it.
+    return np.concatenate([
+        trace.addr[trace.is_mem] // CACHE_BLOCK_BYTES,
+        trace.pc[::8] // CACHE_BLOCK_BYTES,
+    ])
+
+
+@dataclass(frozen=True)
+class CacheSamplingPlan:
+    """Table IV: sampled sets per cache per feature type."""
+
+    sampled_sets: dict[tuple[str, str], int]  # (cache, feature) -> sets
+
+    def get(self, cache: str, feature: str) -> int:
+        return self.sampled_sets[(cache, feature)]
+
+
+def plan_set_sampling(
+    traces: list[Trace],
+    config: MicroarchConfig = PROFILING_CONFIG,
+    fidelity_threshold: float = 0.9,
+) -> CacheSamplingPlan:
+    """Determine the minimum sampled sets per (cache, feature) across
+    ``traces`` — the Table IV experiment.
+
+    The requirement is the maximum over phases: the plan must hold for
+    every profiled phase.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    plan: dict[tuple[str, str], int] = {}
+    for cache in _CACHES:
+        n_sets = _cache_size(config, cache) // CACHE_BLOCK_BYTES // _ASSOC[cache]
+        for feature in _FEATURES:
+            needed = 1
+            for trace in traces:
+                blocks = _access_blocks(trace, cache)
+                needed = max(
+                    needed,
+                    minimum_sampled_sets(
+                        blocks, n_sets, feature,
+                        fidelity_threshold=fidelity_threshold,
+                    ),
+                )
+            plan[(cache, feature)] = needed
+    return CacheSamplingPlan(sampled_sets=plan)
+
+
+def sampling_energy_overheads(
+    plan: CacheSamplingPlan,
+    config: MicroarchConfig = PROFILING_CONFIG,
+) -> dict[tuple[str, str], MonitorOverheads]:
+    """Figure 9: per-(cache, feature) dynamic and leakage overheads."""
+    return {
+        (cache, feature): monitoring_overheads(
+            _cache_size(config, cache),
+            _ASSOC[cache],
+            plan.get(cache, feature),
+            feature,
+        )
+        for cache in _CACHES
+        for feature in _FEATURES
+    }

@@ -1,0 +1,149 @@
+"""Reconfiguration cost model (section VIII, Table V).
+
+Adaptation uses bitline segmentation: structure partitions can be powered
+up and down in isolation.  The paper models a 200ns delay to power up 1.2
+million transistors [28], plus pipeline-stall and cache-flush delays, and
+reports the per-structure cycle overheads in Table V (branch predictor
+fastest at ~154 cycles, the L2 slowest at ~18,000).
+
+:class:`ReconfigurationModel` computes, for a transition between two
+configurations:
+
+* per-structure cycle overheads (power-up of the size *delta*, plus a
+  drain/flush constant) — most of the power-up time is hidden because
+  transistors switch while the structure is still in use, so only a
+  fraction of it stalls the pipeline;
+* the *visible* stall (the maximum over structures, since structures
+  reconfigure in parallel);
+* the energy cost of switching the affected transistors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.configuration import MicroarchConfig
+from repro.timing.resources import MachineParams, derive_machine_params
+
+__all__ = ["ReconfigurationModel", "ReconfigurationCost"]
+
+#: Power-up rate from [28]: 1.2M transistors per 200ns.
+TRANSISTORS_PER_NS = 1.2e6 / 200.0
+
+#: Fraction of the power-up time that actually stalls the pipeline (the
+#: rest overlaps with continued execution on the still-powered partition).
+VISIBLE_FRACTION = 0.2
+
+#: Energy to switch one transistor's power gate, picojoules.
+GATE_ENERGY_PJ = 0.002
+
+#: Drain/flush stall in cycles per structure kind: queues must drain,
+#: caches must flush dirty state, the predictor only swaps tables.
+DRAIN_CYCLES = {
+    "width": 40,
+    "rob": 60,
+    "iq": 40,
+    "lsq": 50,
+    "rf": 60,
+    "gshare": 8,
+    "btb": 8,
+    "icache": 120,
+    "dcache": 180,
+    "l2": 400,
+}
+
+#: Structures resized by each configuration parameter.
+_PARAM_STRUCTURE = {
+    "width": "width",
+    "rob_size": "rob",
+    "iq_size": "iq",
+    "lsq_size": "lsq",
+    "rf_size": "rf",
+    "rf_rd_ports": "rf",
+    "rf_wr_ports": "rf",
+    "gshare_size": "gshare",
+    "btb_size": "btb",
+    "branches": "gshare",
+    "icache_size": "icache",
+    "dcache_size": "dcache",
+    "l2_size": "l2",
+    "depth_fo4": "width",
+}
+
+
+@dataclass(frozen=True)
+class ReconfigurationCost:
+    """Cost of one configuration transition."""
+
+    per_structure_cycles: dict[str, int]
+    stall_cycles: int  # visible pipeline stall (max over structures)
+    energy_pj: float
+    flushed_caches: tuple[str, ...]
+
+    @property
+    def total_structure_cycles(self) -> int:
+        return sum(self.per_structure_cycles.values())
+
+
+class ReconfigurationModel:
+    """Prices configuration transitions."""
+
+    def structure_cycles(
+        self, structure: str, transistor_delta: float,
+        params: MachineParams,
+    ) -> int:
+        """Cycle overhead of resizing one structure (Table V entries)."""
+        if transistor_delta <= 0 and structure not in DRAIN_CYCLES:
+            return 0
+        power_ns = transistor_delta / TRANSISTORS_PER_NS
+        visible_ns = power_ns * VISIBLE_FRACTION
+        drain = DRAIN_CYCLES.get(structure, 20)
+        return drain + params.cycles_for_ns(visible_ns) if visible_ns > 0 else drain
+
+    def cost(
+        self, old: MicroarchConfig, new: MicroarchConfig
+    ) -> ReconfigurationCost:
+        """Full transition cost from ``old`` to ``new``."""
+        old_params = derive_machine_params(old)
+        new_params = derive_machine_params(new)
+        per_structure: dict[str, int] = {}
+        energy = 0.0
+        flushed: list[str] = []
+        touched: set[str] = set()
+        for name in old:
+            if old[name] != new[name]:
+                touched.add(_PARAM_STRUCTURE[name])
+        for structure in sorted(touched):
+            if structure == "width":
+                # Width/depth changes re-balance the whole pipeline: price
+                # as a fixed drain plus powering the delta in ALU datapath.
+                delta = abs(new.width - old.width) * 2.0e5
+                cycles = self.structure_cycles("width", delta, new_params)
+            else:
+                old_t = old_params.structures[structure].transistors
+                new_t = new_params.structures[structure].transistors
+                delta = abs(new_t - old_t)
+                cycles = self.structure_cycles(structure, delta, new_params)
+                if structure in ("icache", "dcache", "l2"):
+                    flushed.append(structure)
+            per_structure[structure] = cycles
+            energy += delta * GATE_ENERGY_PJ
+        stall = max(per_structure.values(), default=0)
+        return ReconfigurationCost(
+            per_structure_cycles=per_structure,
+            stall_cycles=stall,
+            energy_pj=energy,
+            flushed_caches=tuple(flushed),
+        )
+
+    def table5(self, reference: MicroarchConfig) -> dict[str, int]:
+        """Table V: per-structure overhead of a half-range resize, at the
+        reference configuration's clock."""
+        params = derive_machine_params(reference)
+        rows: dict[str, int] = {}
+        for structure, costs in params.structures.items():
+            rows[structure] = self.structure_cycles(
+                structure, costs.transistors / 2.0, params
+            )
+        rows["width"] = self.structure_cycles("width", 4.0e5, params)
+        return rows

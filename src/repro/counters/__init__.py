@@ -1,0 +1,38 @@
+"""Hardware counters: temporal histograms, profiling collection, features."""
+
+from repro.counters.collector import (
+    CacheCounters,
+    OccupancyCollector,
+    PhaseCounters,
+    collect_counters,
+)
+from repro.counters.features import (
+    AdvancedFeatureExtractor,
+    BasicFeatureExtractor,
+    FeatureExtractor,
+)
+from repro.counters.histograms import TemporalHistogram, log2_histogram
+from repro.counters.sampling import (
+    MonitorOverheads,
+    histogram_fidelity,
+    minimum_sampled_sets,
+    monitoring_overheads,
+    sampled_histogram,
+)
+
+__all__ = [
+    "AdvancedFeatureExtractor",
+    "BasicFeatureExtractor",
+    "CacheCounters",
+    "FeatureExtractor",
+    "MonitorOverheads",
+    "OccupancyCollector",
+    "PhaseCounters",
+    "TemporalHistogram",
+    "collect_counters",
+    "histogram_fidelity",
+    "log2_histogram",
+    "minimum_sampled_sets",
+    "monitoring_overheads",
+    "sampled_histogram",
+]

@@ -1,0 +1,208 @@
+"""Feature extraction: hardware counters -> model input vectors.
+
+Section VI-B evaluates two counter sets:
+
+* the **basic** set — "standard performance counters available on current
+  processors": average queue occupancies, ALU operation count, average
+  register usage, cache access and miss rates, branch predictor access and
+  miss rate, and IPC;
+* the **advanced** set — the Table II counters including the temporal
+  histograms.
+
+Both extractors map a :class:`~repro.counters.collector.PhaseCounters` to a
+fixed-length vector ``x`` with a trailing bias term, ready for the soft-max
+model.  Histograms enter as normalised bin fractions (scale-free), scalars
+are squashed to comparable ranges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.counters.collector import PhaseCounters
+from repro.counters.histograms import TemporalHistogram
+
+__all__ = ["FeatureExtractor", "BasicFeatureExtractor",
+           "AdvancedFeatureExtractor"]
+
+
+def _squash_count(value: float) -> float:
+    """log2-squash an unbounded count to a small range."""
+    return math.log2(1.0 + max(0.0, value)) / 16.0
+
+
+class FeatureExtractor:
+    """Base extractor: subclasses define :meth:`_features`."""
+
+    name = "base"
+
+    def extract(self, counters: PhaseCounters) -> np.ndarray:
+        """Feature vector with trailing bias 1."""
+        features = self._features(counters)
+        return np.concatenate([features, [1.0]])
+
+    def feature_names(self) -> list[str]:
+        """Human-readable names aligned with :meth:`extract` output."""
+        raise NotImplementedError
+
+    def _features(self, counters: PhaseCounters) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def dimension(self) -> int:
+        return len(self.feature_names()) + 1
+
+
+class BasicFeatureExtractor(FeatureExtractor):
+    """Conventional scalar performance counters (section VI-B)."""
+
+    name = "basic"
+
+    def feature_names(self) -> list[str]:
+        return [
+            "avg_rob_occupancy", "avg_iq_occupancy", "avg_lsq_occupancy",
+            "avg_int_regs", "avg_fp_regs", "alu_ops",
+            "icache_accesses", "icache_miss_rate",
+            "dcache_accesses", "dcache_miss_rate",
+            "l2_accesses", "l2_miss_rate",
+            "bpred_accesses", "mispredict_rate", "ipc",
+        ]
+
+    def _features(self, counters: PhaseCounters) -> np.ndarray:
+        return np.array([
+            counters.avg_rob_occupancy / 160.0,
+            counters.avg_iq_occupancy / 80.0,
+            counters.avg_lsq_occupancy / 80.0,
+            counters.avg_int_regs / 128.0,
+            counters.avg_fp_regs / 128.0,
+            _squash_count(counters.alu_ops),
+            _squash_count(counters.icache_accesses),
+            counters.icache_miss_rate,
+            _squash_count(counters.dcache_accesses),
+            counters.dcache_miss_rate,
+            _squash_count(counters.l2_accesses),
+            counters.l2_miss_rate,
+            _squash_count(counters.bpred_accesses),
+            counters.mispredict_rate,
+            counters.ipc / 8.0,
+        ])
+
+
+class AdvancedFeatureExtractor(FeatureExtractor):
+    """Table II counters with temporal histograms (section III-B2).
+
+    A strict superset of the basic set: the conventional scalar counters
+    are included alongside the histograms (they are available on the same
+    profiling run, and the soft-max model is linear — explicit averages
+    complement the distribution tails).
+    """
+
+    name = "advanced"
+    _basic = BasicFeatureExtractor()
+
+    _HISTOGRAMS: tuple[tuple[str, str], ...] = (
+        ("alu_usage", "alu"),
+        ("mem_port_usage", "memport"),
+        ("rob_usage", "rob"),
+        ("iq_usage", "iq"),
+        ("lsq_usage", "lsq"),
+        ("int_reg_usage", "intreg"),
+        ("fp_reg_usage", "fpreg"),
+        ("rd_port_usage", "rdport"),
+        ("wr_port_usage", "wrport"),
+        ("btb_reuse", "btb_reuse"),
+    )
+    _CACHE_HISTOGRAMS: tuple[str, ...] = (
+        "stack_distance", "block_reuse", "set_reuse", "reduced_set_reuse"
+    )
+    _SCALARS: tuple[str, ...] = (
+        "rob_speculative_frac", "iq_speculative_frac", "lsq_speculative_frac",
+        "rob_misspeculated_frac", "iq_misspeculated_frac",
+        "lsq_misspeculated_frac", "mispredict_rate",
+    )
+
+    def feature_names(self) -> list[str]:
+        counters = None
+        names: list[str] = []
+        for attr, label in self._HISTOGRAMS:
+            names.extend(self._histogram_names(label, attr, counters))
+        for cache in ("icache", "dcache", "l2"):
+            for hist in self._CACHE_HISTOGRAMS:
+                names.extend(self._histogram_names(f"{cache}.{hist}", None, None))
+        names.extend(self._SCALARS)
+        names.append("cpi")
+        names.extend(f"basic.{n}" for n in self._basic.feature_names())
+        return names
+
+    def _histogram_names(self, label: str, attr: str | None,
+                         counters: PhaseCounters | None) -> list[str]:
+        bins = self._bins_for(label)
+        names = [f"{label}[{b}]" for b in range(bins)]
+        if self._has_cold(label):
+            names.append(f"{label}[cold]")
+        return names
+
+    @staticmethod
+    def _bins_for(label: str) -> int:
+        # Occupancy histograms have fixed linear binnings (see
+        # OccupancyCollector); distance histograms are log2 up to 65536.
+        linear = {
+            "alu": 9, "memport": 5, "rob": 16, "iq": 10, "lsq": 10,
+            "intreg": 16, "fpreg": 16, "rdport": 33, "wrport": 17,
+        }
+        if label in linear:
+            return linear[label]
+        return 17  # log2 bins for distances up to 65536
+
+    @staticmethod
+    def _has_cold(label: str) -> bool:
+        return "." in label or label == "btb_reuse"
+
+    def _features(self, counters: PhaseCounters) -> np.ndarray:
+        parts: list[np.ndarray] = []
+        for attr, label in self._HISTOGRAMS:
+            histogram: TemporalHistogram = getattr(counters, attr)
+            parts.append(
+                self._fixed(histogram, self._bins_for(label),
+                            self._has_cold(label))
+            )
+        for cache_name in ("icache", "dcache", "l2"):
+            cache = getattr(counters, cache_name)
+            for hist_name in self._CACHE_HISTOGRAMS:
+                histogram = getattr(cache, hist_name)
+                parts.append(self._fixed(histogram, 17, True))
+        scalars = np.array(
+            [getattr(counters, name) for name in self._SCALARS]
+            + [min(counters.cpi, 16.0) / 16.0]
+        )
+        parts.append(scalars)
+        parts.append(self._basic._features(counters))
+        return np.concatenate(parts)
+
+    @staticmethod
+    def _fixed(histogram: TemporalHistogram, bins: int,
+               include_cold: bool) -> np.ndarray:
+        """Cumulative upper-tail fractions padded/truncated to ``bins``.
+
+        Feature ``b`` is the fraction of events at or above bin ``b`` —
+        for an occupancy histogram that is "the structure held at least
+        this many entries", for a distance histogram "this access would
+        miss a cache of this capacity".  Cumulative tails are monotone
+        and shared across locality *shapes*, so the model extrapolates to
+        held-out programs far better than with raw per-bin mass.
+        """
+        values = histogram.normalized(include_cold=False)
+        if len(values) > bins:
+            head = values[: bins - 1]
+            tail = values[bins - 1:].sum()
+            values = np.concatenate([head, [tail]])
+        elif len(values) < bins:
+            values = np.concatenate([values, np.zeros(bins - len(values))])
+        tails = np.cumsum(values[::-1])[::-1]
+        if include_cold:
+            total = histogram.total
+            cold = histogram.cold / total if total else 0.0
+            tails = np.concatenate([tails, [cold]])
+        return tails

@@ -1,0 +1,25 @@
+"""Experiment harness: pipeline, baselines, sweeps, figure generators."""
+
+from repro.experiments.baselines import (
+    best_static_config,
+    best_static_per_program,
+    geomean,
+    oracle_configs,
+)
+from repro.experiments.datastore import DataStore
+from repro.experiments.pipeline import ExperimentPipeline, PhaseData
+from repro.experiments.scale import ReproScale
+from repro.experiments.sweeps import PhaseSweep, run_phase_sweep
+
+__all__ = [
+    "DataStore",
+    "ExperimentPipeline",
+    "PhaseData",
+    "PhaseSweep",
+    "ReproScale",
+    "best_static_config",
+    "best_static_per_program",
+    "geomean",
+    "oracle_configs",
+    "run_phase_sweep",
+]

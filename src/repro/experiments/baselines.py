@@ -1,0 +1,84 @@
+"""Baseline configurations (sections VI-A and VII).
+
+* **Best overall static** — the configuration of the shared sample pool
+  with the best average energy-efficiency across every phase of every
+  benchmark (the paper's aggressive Table III baseline).  "Average" is the
+  geometric mean: the raw ips^3/W values of different benchmarks differ by
+  orders of magnitude, and the paper's per-benchmark comparisons are
+  ratio-based.
+* **Best per-program static** — the same selection restricted to one
+  program's phases (the specialised-processor limit of section VII-A).
+* **Best dynamic (oracle)** — the per-phase best configuration in the
+  sample space (the upper bound of section VII-B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.config.configuration import MicroarchConfig
+from repro.power.metrics import EfficiencyResult
+
+__all__ = [
+    "geomean",
+    "best_static_config",
+    "best_static_per_program",
+    "oracle_configs",
+]
+
+PhaseKey = tuple[str, int]
+Evaluations = Mapping[PhaseKey, Mapping[MicroarchConfig, EfficiencyResult]]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; requires positive values."""
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _pool_score(
+    config: MicroarchConfig, evaluations: Evaluations, keys: Sequence[PhaseKey]
+) -> float:
+    return geomean(
+        [evaluations[key][config].efficiency for key in keys]
+    )
+
+
+def best_static_config(
+    pool: Sequence[MicroarchConfig], evaluations: Evaluations
+) -> MicroarchConfig:
+    """The best-on-average single configuration (Table III baseline).
+
+    Every pool configuration must be evaluated on every phase (the shared
+    pool of the sweep protocol guarantees this).
+    """
+    keys = list(evaluations)
+    if not keys:
+        raise ValueError("no phase evaluations supplied")
+    return max(pool, key=lambda c: _pool_score(c, evaluations, keys))
+
+
+def best_static_per_program(
+    pool: Sequence[MicroarchConfig], evaluations: Evaluations
+) -> dict[str, MicroarchConfig]:
+    """Per-program specialised static configurations (section VII-A)."""
+    programs = sorted({program for program, _ in evaluations})
+    result = {}
+    for program in programs:
+        keys = [key for key in evaluations if key[0] == program]
+        result[program] = max(
+            pool, key=lambda c: _pool_score(c, evaluations, keys)
+        )
+    return result
+
+
+def oracle_configs(evaluations: Evaluations) -> dict[PhaseKey, MicroarchConfig]:
+    """Per-phase best configurations in the sample space (section VII-B)."""
+    return {
+        key: max(per_phase, key=lambda c: per_phase[c].efficiency)
+        for key, per_phase in evaluations.items()
+    }

@@ -1,0 +1,89 @@
+"""Disk-backed result cache.
+
+The paper's training data is >300,000 simulations; even at this
+reproduction's scale the sweep, profiling and cross-validation results are
+worth caching.  :class:`DataStore` is a tiny content-addressed pickle
+store: results are keyed by a human-readable tag (hashed to a filename)
+and recomputed only when missing.
+
+Pickles are written atomically (temp file + rename) so an interrupted run
+never leaves a corrupt cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Callable, TypeVar
+
+__all__ = ["DataStore"]
+
+T = TypeVar("T")
+
+
+class DataStore:
+    """Pickle cache under a directory (default ``.repro_cache/``)."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.directory / f"{digest}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: str) -> object:
+        """Load a cached value.
+
+        Raises:
+            KeyError: if the key has no cached value.
+        """
+        path = self._path(key)
+        if not path.exists():
+            raise KeyError(key)
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+
+    def put(self, key: str, value: object) -> None:
+        """Store ``value`` under ``key`` (atomic replace)."""
+        path = self._path(key)
+        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing and storing it
+        on first use."""
+        path = self._path(key)
+        if path.exists():
+            self.hits += 1
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,308 @@
+"""End-to-end experiment pipeline.
+
+Orchestrates the whole reproduction for a given
+:class:`~repro.experiments.scale.ReproScale`:
+
+1. build the synthetic suite and extract each benchmark's phases;
+2. profile every phase on the profiling configuration (Table II counters,
+   both feature sets);
+3. characterise every phase trace for the fast evaluator;
+4. run the section V-C sampling protocol per phase (shared random pool +
+   neighbours + one-at-a-time sweep);
+5. derive baselines (best static, per-program static, oracle dynamic);
+6. train and cross-validate the predictor (leave-one-program-out).
+
+Every expensive step is cached in a :class:`DataStore`, so figures re-run
+from disk instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.config.configuration import MicroarchConfig
+from repro.config.space import DesignSpace
+from repro.counters.collector import PhaseCounters, collect_counters
+from repro.counters.features import (
+    AdvancedFeatureExtractor,
+    BasicFeatureExtractor,
+)
+from repro.experiments.baselines import (
+    best_static_config,
+    best_static_per_program,
+    geomean,
+    oracle_configs,
+)
+from repro.experiments.datastore import DataStore
+from repro.experiments.scale import ReproScale
+from repro.experiments.sweeps import run_phase_sweep
+from repro.model.crossval import PhaseRecord, leave_one_program_out
+from repro.power.metrics import EfficiencyResult
+from repro.timing.characterize import TraceCharacterization, characterize
+from repro.timing.interval import IntervalEvaluator
+from repro.util import stable_hash
+from repro.workloads.program import Program
+from repro.workloads.suite import build_program, spec2000_suite
+from repro.workloads.trace import Trace
+
+__all__ = ["PhaseData", "ExperimentPipeline"]
+
+PhaseKey = tuple[str, int]
+
+FEATURE_EXTRACTORS = {
+    "advanced": AdvancedFeatureExtractor(),
+    "basic": BasicFeatureExtractor(),
+}
+
+
+@dataclass
+class PhaseData:
+    """Everything gathered for one phase."""
+
+    program: str
+    phase_id: int
+    counters: PhaseCounters
+    characterization: TraceCharacterization
+    features: dict[str, np.ndarray]
+    evaluations: dict[MicroarchConfig, EfficiencyResult]
+
+    @property
+    def key(self) -> PhaseKey:
+        return (self.program, self.phase_id)
+
+    @property
+    def best(self) -> tuple[MicroarchConfig, EfficiencyResult]:
+        config = max(self.evaluations,
+                     key=lambda c: self.evaluations[c].efficiency)
+        return config, self.evaluations[config]
+
+
+class ExperimentPipeline:
+    """Cached, end-to-end driver for every figure and table."""
+
+    def __init__(
+        self,
+        scale: ReproScale | None = None,
+        store: DataStore | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.scale = scale or ReproScale.default()
+        self.store = store or DataStore()
+        self.verbose = verbose
+        self.evaluator = IntervalEvaluator()
+        self._extra_evaluations: dict[PhaseKey, dict[MicroarchConfig,
+                                                     EfficiencyResult]] = {}
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[pipeline] {message}", flush=True)
+
+    # -- workloads -------------------------------------------------------------
+
+    @cached_property
+    def profiles(self):
+        return spec2000_suite(self.scale.benchmarks)
+
+    @cached_property
+    def benchmark_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.profiles)
+
+    @cached_property
+    def programs(self) -> dict[str, Program]:
+        return {
+            profile.name: build_program(
+                profile,
+                n_phases=self.scale.n_phases,
+                n_intervals=max(10, 10 * self.scale.n_phases),
+                interval_length=self.scale.phase_trace_length,
+                seed=self.scale.seed,
+            )
+            for profile in self.profiles
+        }
+
+    def phase_trace(self, program: str, phase_id: int) -> Trace:
+        return self.programs[program].phase_trace(phase_id)
+
+    @property
+    def phase_keys(self) -> list[PhaseKey]:
+        return [
+            (name, phase_id)
+            for name in self.benchmark_names
+            for phase_id in range(self.scale.n_phases)
+        ]
+
+    # -- design space -------------------------------------------------------------
+
+    @cached_property
+    def pool(self) -> tuple[MicroarchConfig, ...]:
+        """The shared uniform random sample (stage 1 of section V-C)."""
+        space = DesignSpace(seed=stable_hash(self.scale.tag, "pool"))
+        return tuple(space.random_sample(self.scale.pool_size))
+
+    # -- per-phase data -------------------------------------------------------------
+
+    def phase_data(self, program: str, phase_id: int) -> PhaseData:
+        key = f"{self.scale.tag}/phase/{program}/{phase_id}"
+
+        def compute() -> PhaseData:
+            self._log(f"profiling + sweeping {program} phase {phase_id}")
+            trace = self.phase_trace(program, phase_id)
+            warm = self.programs[program].phase_warm_trace(phase_id)
+            counters = collect_counters(trace, warm_trace=warm)
+            features = {
+                name: extractor.extract(counters)
+                for name, extractor in FEATURE_EXTRACTORS.items()
+            }
+            char = characterize(trace, warm_trace=warm)
+            sweep = run_phase_sweep(
+                char,
+                self.pool,
+                neighbour_count=self.scale.neighbour_count,
+                seed=stable_hash(self.scale.tag, program, phase_id, "sweep"),
+            )
+            return PhaseData(
+                program=program,
+                phase_id=phase_id,
+                counters=counters,
+                characterization=char,
+                features=features,
+                evaluations=sweep.evaluations,
+            )
+
+        return self.store.get_or_compute(key, compute)
+
+    @cached_property
+    def all_phase_data(self) -> dict[PhaseKey, PhaseData]:
+        return {
+            key: self.phase_data(*key) for key in self.phase_keys
+        }
+
+    @cached_property
+    def evaluations(self) -> dict[PhaseKey, dict[MicroarchConfig,
+                                                 EfficiencyResult]]:
+        return {key: data.evaluations
+                for key, data in self.all_phase_data.items()}
+
+    # -- evaluation of arbitrary configs -----------------------------------------
+
+    def evaluate(self, key: PhaseKey, config: MicroarchConfig) -> EfficiencyResult:
+        """Efficiency of ``config`` on phase ``key`` (memoised)."""
+        data = self.all_phase_data[key]
+        result = data.evaluations.get(config)
+        if result is not None:
+            return result
+        extra = self._extra_evaluations.setdefault(key, {})
+        result = extra.get(config)
+        if result is None:
+            result = self.evaluator.evaluate(data.characterization, config)
+            extra[config] = result
+        return result
+
+    # -- baselines --------------------------------------------------------------
+
+    @cached_property
+    def baseline_config(self) -> MicroarchConfig:
+        """Best overall static configuration (Table III)."""
+        return best_static_config(self.pool, self.evaluations)
+
+    @cached_property
+    def per_program_static(self) -> dict[str, MicroarchConfig]:
+        return best_static_per_program(self.pool, self.evaluations)
+
+    @cached_property
+    def oracle(self) -> dict[PhaseKey, MicroarchConfig]:
+        return oracle_configs(self.evaluations)
+
+    # -- model ------------------------------------------------------------------
+
+    def phase_records(self, feature_set: str) -> list[PhaseRecord]:
+        return [
+            PhaseRecord(
+                program=data.program,
+                phase_id=data.phase_id,
+                features=data.features[feature_set],
+                evaluations={c: r.efficiency
+                             for c, r in data.evaluations.items()},
+            )
+            for data in self.all_phase_data.values()
+        ]
+
+    def predictions(self, feature_set: str = "advanced") -> dict[PhaseKey,
+                                                                 MicroarchConfig]:
+        """Leave-one-program-out predictions for every phase (cached)."""
+        if feature_set not in FEATURE_EXTRACTORS:
+            raise KeyError(f"unknown feature set {feature_set!r}")
+        key = f"{self.scale.tag}/predictions/{feature_set}"
+
+        def compute() -> dict[PhaseKey, MicroarchConfig]:
+            self._log(f"leave-one-out cross-validation ({feature_set})")
+            return leave_one_program_out(
+                self.phase_records(feature_set),
+                regularization=self.scale.regularization,
+                threshold=self.scale.threshold,
+                max_iterations=self.scale.max_iterations,
+            )
+
+        return self.store.get_or_compute(key, compute)
+
+    def full_predictor(self, feature_set: str = "advanced"
+                       ) -> "ConfigurationPredictor":
+        """A predictor trained on *every* phase (for controller demos;
+        cross-validated results come from :meth:`predictions`)."""
+        from repro.model.predictor import ConfigurationPredictor
+
+        key = f"{self.scale.tag}/full-predictor/{feature_set}"
+
+        def compute() -> ConfigurationPredictor:
+            self._log(f"training full predictor ({feature_set})")
+            data = list(self.all_phase_data.values())
+            predictor = ConfigurationPredictor(
+                regularization=self.scale.regularization,
+                max_iterations=self.scale.max_iterations,
+            )
+            predictor.fit_evaluations(
+                [d.features[feature_set] for d in data],
+                [{c: r.efficiency for c, r in d.evaluations.items()}
+                 for d in data],
+                threshold=self.scale.threshold,
+            )
+            return predictor
+
+        return self.store.get_or_compute(key, compute)
+
+    # -- derived metrics -----------------------------------------------------------
+
+    def phase_ratio(self, key: PhaseKey, config: MicroarchConfig) -> float:
+        """Efficiency of ``config`` on ``key`` relative to the baseline."""
+        baseline = self.evaluate(key, self.baseline_config).efficiency
+        return self.evaluate(key, config).efficiency / baseline
+
+    def benchmark_ratio(self, program: str,
+                        configs: dict[PhaseKey, MicroarchConfig]) -> float:
+        """Geometric-mean per-phase efficiency ratio for one benchmark."""
+        ratios = [
+            self.phase_ratio(key, configs[key])
+            for key in self.phase_keys
+            if key[0] == program
+        ]
+        return geomean(ratios)
+
+    def suite_ratios(self, configs: dict[PhaseKey, MicroarchConfig]
+                     ) -> dict[str, float]:
+        """Per-benchmark ratios (figure 4/6 bars) for a config assignment."""
+        return {
+            name: self.benchmark_ratio(name, configs)
+            for name in self.benchmark_names
+        }
+
+    def static_assignment(self, config: MicroarchConfig
+                          ) -> dict[PhaseKey, MicroarchConfig]:
+        """Every phase mapped to one fixed configuration."""
+        return {key: config for key in self.phase_keys}
+
+    def per_program_assignment(self) -> dict[PhaseKey, MicroarchConfig]:
+        statics = self.per_program_static
+        return {key: statics[key[0]] for key in self.phase_keys}

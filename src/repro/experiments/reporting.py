@@ -1,0 +1,83 @@
+"""ASCII rendering for experiment outputs.
+
+Every figure/table generator in :mod:`repro.experiments.figures` returns
+structured data plus a rendered text form built from these helpers, so the
+benchmark harness prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_bars", "render_distribution", "format_ratio"]
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Aligned fixed-width table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 44,
+    reference: float | None = 1.0,
+    unit: str = "x",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart (one row per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(max(values, default=1.0), reference or 0.0, 1e-12)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak)))
+        marker = ""
+        if reference is not None:
+            ref_pos = int(round(width * reference / peak))
+            if len(bar) < ref_pos:
+                bar = bar + " " * (ref_pos - len(bar) - 1) + "|"
+        lines.append(f"{label.ljust(label_width)}  {value:6.2f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def render_distribution(
+    bin_labels: Sequence[str],
+    fractions: Sequence[float],
+    ecdf: Sequence[float] | None = None,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Histogram rows with optional ECDF column (figure 7 style)."""
+    if len(bin_labels) != len(fractions):
+        raise ValueError("bin_labels and fractions must align")
+    label_width = max((len(l) for l in bin_labels), default=0)
+    peak = max(max(fractions, default=0.0), 1e-12)
+    lines = [title] if title else []
+    for i, (label, frac) in enumerate(zip(bin_labels, fractions)):
+        bar = "#" * int(round(width * frac / peak))
+        suffix = f"  ecdf>={ecdf[i]:5.1%}" if ecdf is not None else ""
+        lines.append(f"{label.ljust(label_width)}  {frac:6.1%}  "
+                     f"{bar.ljust(width)}{suffix}")
+    return "\n".join(lines)

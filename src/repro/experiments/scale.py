@@ -1,0 +1,71 @@
+"""Experiment scaling knobs.
+
+The paper's protocol (26 benchmarks x 10 phases x 1,298 simulations of
+10M-instruction intervals) ran on a cluster; :class:`ReproScale`
+centralises the knobs that let this reproduction run the same *protocol*
+at laptop scale, and lets tests run a miniature version of the whole
+pipeline in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ReproScale"]
+
+
+@dataclass(frozen=True)
+class ReproScale:
+    """Sizes for the end-to-end reproduction pipeline."""
+
+    benchmarks: tuple[str, ...] | None = None  # None = all 26
+    n_phases: int = 10
+    phase_trace_length: int = 24_000
+    pool_size: int = 160  # shared uniform random sample (paper: 1000)
+    neighbour_count: int = 40  # per-phase local neighbours (paper: 200)
+    seed: int = 0
+    threshold: float = 0.05  # good-configuration slack (paper: 5%)
+    regularization: float = 0.5  # lambda (paper: 0.5)
+    max_iterations: int = 160  # CG budget per parameter model
+    version: int = 8  # bump to invalidate cached results
+
+    def __post_init__(self) -> None:
+        if self.n_phases < 1 or self.phase_trace_length < 64:
+            raise ValueError("n_phases >= 1 and trace length >= 64 required")
+        if self.pool_size < 2:
+            raise ValueError("pool_size must be at least 2")
+
+    @classmethod
+    def default(cls) -> "ReproScale":
+        """Full 26-benchmark reproduction at laptop scale."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ReproScale":
+        """Miniature pipeline for tests (seconds end to end)."""
+        return cls(
+            benchmarks=("mcf", "crafty", "swim", "eon", "gcc", "art"),
+            n_phases=3,
+            phase_trace_length=4_000,
+            pool_size=24,
+            neighbour_count=8,
+            max_iterations=40,
+        )
+
+    @classmethod
+    def paper(cls) -> "ReproScale":
+        """The section V-C sampling sizes (slow: ~1300 evals/phase)."""
+        return cls(pool_size=1000, neighbour_count=200)
+
+    def with_(self, **overrides: object) -> "ReproScale":
+        """Copy with fields overridden."""
+        return replace(self, **overrides)
+
+    @property
+    def tag(self) -> str:
+        """Cache key component identifying this scale."""
+        names = ",".join(self.benchmarks) if self.benchmarks else "all26"
+        return (
+            f"v{self.version}-{names}-p{self.n_phases}-L{self.phase_trace_length}"
+            f"-pool{self.pool_size}-nb{self.neighbour_count}-s{self.seed}"
+        )

@@ -1,0 +1,87 @@
+"""The section V-C per-phase sampling protocol.
+
+For each phase: evaluate a shared uniform random pool, find its best
+configuration, evaluate random local neighbours of it, re-select the best
+of everything seen, then sweep each parameter one at a time through all
+its values.  At paper scale this is 1000 + 200 + 98 = 1,298 evaluations
+per phase; the sizes come from the active
+:class:`~repro.experiments.scale.ReproScale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.configuration import MicroarchConfig
+from repro.config.space import DesignSpace
+from repro.power.metrics import EfficiencyResult
+from repro.timing.characterize import TraceCharacterization
+from repro.timing.interval import IntervalEvaluator
+
+__all__ = ["PhaseSweep", "run_phase_sweep"]
+
+
+@dataclass
+class PhaseSweep:
+    """All evaluations gathered for one phase."""
+
+    evaluations: dict[MicroarchConfig, EfficiencyResult]
+
+    @property
+    def efficiencies(self) -> dict[MicroarchConfig, float]:
+        return {c: r.efficiency for c, r in self.evaluations.items()}
+
+    @property
+    def best(self) -> tuple[MicroarchConfig, EfficiencyResult]:
+        config = max(self.evaluations,
+                     key=lambda c: self.evaluations[c].efficiency)
+        return config, self.evaluations[config]
+
+
+def run_phase_sweep(
+    char: TraceCharacterization,
+    pool: Sequence[MicroarchConfig],
+    neighbour_count: int,
+    seed: int,
+    evaluator: IntervalEvaluator | None = None,
+) -> PhaseSweep:
+    """Run the full V-C protocol for one characterised phase.
+
+    Args:
+        char: the phase's trace characterisation.
+        pool: the shared random sample (stage 1; identical for every
+            phase so static baselines are well defined).
+        neighbour_count: stage 2 size (paper: 200).
+        seed: seed for the neighbour sampling.
+        evaluator: configuration evaluator (default
+            :class:`IntervalEvaluator`).
+    """
+    if not pool:
+        raise ValueError("pool must not be empty")
+    evaluator = evaluator or IntervalEvaluator()
+    space = DesignSpace(seed=seed)
+    evaluations: dict[MicroarchConfig, EfficiencyResult] = {}
+
+    def evaluate(config: MicroarchConfig) -> EfficiencyResult:
+        result = evaluations.get(config)
+        if result is None:
+            result = evaluator.evaluate(char, config)
+            evaluations[config] = result
+        return result
+
+    # Stage 1: shared uniform random pool.
+    for config in pool:
+        evaluate(config)
+    best = max(evaluations, key=lambda c: evaluations[c].efficiency)
+
+    # Stage 2: random local neighbours of the pool best.
+    for config in space.random_neighbours(best, neighbour_count):
+        evaluate(config)
+    best = max(evaluations, key=lambda c: evaluations[c].efficiency)
+
+    # Stage 3: one-at-a-time sweep around the overall best.
+    for config in space.one_at_a_time(best):
+        evaluate(config)
+
+    return PhaseSweep(evaluations=evaluations)

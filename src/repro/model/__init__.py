@@ -1,0 +1,30 @@
+"""The predictive model: soft-max per parameter, CG training, LOO CV."""
+
+from repro.model.crossval import PhaseRecord, leave_one_program_out
+from repro.model.quantize import QuantizedPredictor
+from repro.model.serialize import load_predictor, save_predictor
+from repro.model.optimizer import CGResult, minimize_cg
+from repro.model.predictor import ConfigurationPredictor
+from repro.model.softmax import SoftmaxClassifier
+from repro.model.training import (
+    GOOD_THRESHOLD,
+    TrainingSet,
+    build_parameter_dataset,
+    good_configurations,
+)
+
+__all__ = [
+    "CGResult",
+    "ConfigurationPredictor",
+    "GOOD_THRESHOLD",
+    "PhaseRecord",
+    "QuantizedPredictor",
+    "SoftmaxClassifier",
+    "TrainingSet",
+    "build_parameter_dataset",
+    "good_configurations",
+    "leave_one_program_out",
+    "load_predictor",
+    "minimize_cg",
+    "save_predictor",
+]

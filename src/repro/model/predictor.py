@@ -1,0 +1,101 @@
+"""The full configuration predictor: one soft-max per parameter.
+
+Equation 1 factorises the conditional distribution of good configurations
+as a product over the fourteen parameters — *conditionally* independent
+given the phase's counters.  Prediction (eq. 2) therefore reduces to
+fourteen independent argmaxes, one per :class:`SoftmaxClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.configuration import MicroarchConfig
+from repro.config.parameters import TABLE1_PARAMETERS, Parameter
+from repro.model.softmax import SoftmaxClassifier
+from repro.model.training import build_parameter_dataset, good_configurations
+
+__all__ = ["ConfigurationPredictor"]
+
+
+@dataclass
+class ConfigurationPredictor:
+    """Per-parameter soft-max ensemble over the Table I design space.
+
+    Args:
+        parameters: parameters to predict (defaults to Table I).
+        regularization: lambda of eq. 6 (paper: 0.5).
+        max_iterations: CG budget per parameter model.
+    """
+
+    parameters: tuple[Parameter, ...] = TABLE1_PARAMETERS
+    regularization: float = 0.5
+    max_iterations: int = 200
+    classifiers: dict[str, SoftmaxClassifier] = field(default_factory=dict)
+
+    def fit_evaluations(
+        self,
+        features: Sequence[np.ndarray],
+        evaluations: Sequence[dict[MicroarchConfig, float]],
+        threshold: float = 0.05,
+    ) -> "ConfigurationPredictor":
+        """Train from per-phase evaluation maps (selects good sets first)."""
+        good_sets = [good_configurations(e, threshold) for e in evaluations]
+        return self.fit(features, good_sets)
+
+    def fit(
+        self,
+        features: Sequence[np.ndarray],
+        good_sets: Sequence[Sequence[MicroarchConfig]],
+    ) -> "ConfigurationPredictor":
+        """Train one classifier per parameter from good-configuration sets."""
+        if not features:
+            raise ValueError("no training phases supplied")
+        for parameter in self.parameters:
+            dataset = build_parameter_dataset(parameter, features, good_sets)
+            classifier = SoftmaxClassifier(
+                n_classes=parameter.cardinality,
+                regularization=self.regularization,
+                max_iterations=self.max_iterations,
+            )
+            classifier.fit(dataset.x, dataset.labels,
+                           sample_weight=dataset.weights)
+            self.classifiers[parameter.name] = classifier
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        return len(self.classifiers) == len(self.parameters)
+
+    def predict(self, x: np.ndarray) -> MicroarchConfig:
+        """The eq. 2 argmax configuration for counter vector ``x``."""
+        if not self.is_trained:
+            raise RuntimeError("predictor is not trained")
+        values = {}
+        for parameter in self.parameters:
+            index = self.classifiers[parameter.name].predict(np.asarray(x))
+            values[parameter.name] = parameter.values[int(index)]
+        return MicroarchConfig.from_dict(values)
+
+    def predict_proba(self, x: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-parameter soft-max distributions for ``x``."""
+        if not self.is_trained:
+            raise RuntimeError("predictor is not trained")
+        return {
+            parameter.name: self.classifiers[parameter.name].predict_proba(
+                np.asarray(x)
+            )
+            for parameter in self.parameters
+        }
+
+    def weight_count(self) -> int:
+        """Total number of weights (the paper estimates ~2000, stored as
+        8-bit integers in 2KB — section VIII)."""
+        return sum(
+            classifier.weights.size
+            for classifier in self.classifiers.values()
+            if classifier.weights is not None
+        )

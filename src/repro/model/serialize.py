@@ -1,0 +1,83 @@
+"""Saving and loading trained predictors.
+
+A deployed controller ships only the weight matrices (section VIII stores
+them in a small SRAM).  :func:`save_predictor` /
+:func:`load_predictor` round-trip a trained
+:class:`~repro.model.predictor.ConfigurationPredictor` through a single
+``.npz`` file — weights plus the metadata needed to rebuild the
+per-parameter classifiers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.config.parameters import TABLE1_PARAMETERS, parameter_by_name
+from repro.model.predictor import ConfigurationPredictor
+from repro.model.softmax import SoftmaxClassifier
+
+__all__ = ["save_predictor", "load_predictor"]
+
+_FORMAT_VERSION = 1
+
+
+def save_predictor(predictor: ConfigurationPredictor,
+                   path: str | Path) -> Path:
+    """Write a trained predictor's weights to ``path`` (.npz).
+
+    Raises:
+        ValueError: if the predictor is untrained.
+    """
+    if not predictor.is_trained:
+        raise ValueError("cannot save an untrained predictor")
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "__version__": np.array([_FORMAT_VERSION]),
+        "__regularization__": np.array([predictor.regularization]),
+        "__parameters__": np.array(
+            [p.name for p in predictor.parameters], dtype="U32"
+        ),
+    }
+    for parameter in predictor.parameters:
+        classifier = predictor.classifiers[parameter.name]
+        assert classifier.weights is not None
+        arrays[f"weights_{parameter.name}"] = classifier.weights
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_predictor(path: str | Path) -> ConfigurationPredictor:
+    """Rebuild a predictor saved by :func:`save_predictor`.
+
+    Raises:
+        ValueError: on version or parameter-set mismatch.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["__version__"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported predictor format v{version}")
+        names = [str(n) for n in data["__parameters__"]]
+        known = {p.name for p in TABLE1_PARAMETERS}
+        unknown = set(names) - known
+        if unknown:
+            raise ValueError(f"unknown parameters in file: {sorted(unknown)}")
+        parameters = tuple(parameter_by_name(n) for n in names)
+        predictor = ConfigurationPredictor(
+            parameters=parameters,
+            regularization=float(data["__regularization__"][0]),
+        )
+        for parameter in parameters:
+            weights = data[f"weights_{parameter.name}"]
+            if weights.shape[1] != parameter.cardinality:
+                raise ValueError(
+                    f"weight shape mismatch for {parameter.name}"
+                )
+            classifier = SoftmaxClassifier(
+                n_classes=parameter.cardinality,
+                regularization=predictor.regularization,
+            )
+            classifier.weights = weights.copy()
+            predictor.classifiers[parameter.name] = classifier
+    return predictor

@@ -1,0 +1,24 @@
+"""Phase analysis: BBVs, SimPoint-style clustering, online detection."""
+
+from repro.phases.bbv import basic_block_vector, bbv_distance
+from repro.phases.bbv_detector import BBVPhaseDetector
+from repro.phases.detector import (
+    Observation,
+    PhaseDetector,
+    signature_distance,
+    signature_of,
+)
+from repro.phases.simpoint import KMeans, SimPointResult, extract_phases
+
+__all__ = [
+    "BBVPhaseDetector",
+    "KMeans",
+    "Observation",
+    "PhaseDetector",
+    "SimPointResult",
+    "basic_block_vector",
+    "bbv_distance",
+    "extract_phases",
+    "signature_distance",
+    "signature_of",
+]

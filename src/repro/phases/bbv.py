@@ -1,0 +1,45 @@
+"""Basic-block vectors (BBVs).
+
+SimPoint characterises execution intervals by their basic-block vector:
+how many instructions each static basic block contributed to the interval.
+Static block identities here are code-block addresses (PC / 64), projected
+into a fixed dimension by hashing — the standard practical construction
+when the true static CFG is not available to the profiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timing.resources import CACHE_BLOCK_BYTES
+from repro.workloads.trace import Trace
+
+__all__ = ["basic_block_vector", "bbv_distance"]
+
+
+def basic_block_vector(trace: Trace, dim: int = 64) -> np.ndarray:
+    """Normalised BBV of ``trace`` with ``dim`` hashed buckets.
+
+    Each instruction's code block (PC / cache-block) is hashed into one of
+    ``dim`` buckets; the vector is L1-normalised so intervals of different
+    lengths are comparable.
+    """
+    if dim < 2:
+        raise ValueError("dim must be at least 2")
+    blocks = (trace.pc // CACHE_BLOCK_BYTES).astype(np.int64)
+    # Multiplicative hashing (Knuth) spreads consecutive blocks.
+    buckets = ((blocks * np.int64(2654435761)) % np.int64(2**31)) % dim
+    vector = np.bincount(buckets, minlength=dim).astype(np.float64)
+    total = vector.sum()
+    if total > 0:
+        vector /= total
+    return vector
+
+
+def bbv_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Manhattan distance between two BBVs (SimPoint's metric), in [0, 2]."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("BBVs must share a dimension")
+    return float(np.abs(a - b).sum())

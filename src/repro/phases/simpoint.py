@@ -1,0 +1,149 @@
+"""SimPoint-style offline phase extraction.
+
+The paper extracts 10 phases per SPEC benchmark with SimPoint (interval
+size 10M instructions).  SimPoint's core is k-means clustering of the
+interval BBVs followed by choosing, per cluster, the interval closest to
+the centroid as the *representative* of that phase.  This module
+implements that pipeline from scratch (k-means++ seeding, Lloyd
+iterations, BIC-based k selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phases.bbv import basic_block_vector
+from repro.workloads.program import Program
+
+__all__ = ["KMeans", "SimPointResult", "extract_phases"]
+
+
+@dataclass
+class KMeans:
+    """Lloyd's k-means with k-means++ seeding (deterministic by seed)."""
+
+    n_clusters: int
+    max_iterations: int = 100
+    seed: int = 0
+
+    def fit(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Cluster rows of ``x``; returns (labels, centroids)."""
+        x = np.asarray(x, dtype=np.float64)
+        n = len(x)
+        if n == 0:
+            raise ValueError("no points to cluster")
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centroids = self._seed_centroids(x, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        for _ in range(self.max_iterations):
+            distances = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(
+                axis=2
+            )
+            new_labels = distances.argmin(axis=1)
+            if (new_labels == labels).all() and _ > 0:
+                break
+            labels = new_labels
+            for c in range(k):
+                members = x[labels == c]
+                if len(members):
+                    centroids[c] = members.mean(axis=0)
+                else:  # re-seed an empty cluster at the farthest point
+                    farthest = distances.min(axis=1).argmax()
+                    centroids[c] = x[farthest]
+        return labels, centroids
+
+    @staticmethod
+    def _seed_centroids(x: np.ndarray, k: int,
+                        rng: np.random.Generator) -> np.ndarray:
+        """k-means++ initialisation."""
+        n = len(x)
+        centroids = [x[rng.integers(n)]]
+        for _ in range(1, k):
+            d2 = np.min(
+                ((x[:, None, :] - np.asarray(centroids)[None, :, :]) ** 2)
+                .sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centroids.append(x[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centroids.append(x[rng.choice(n, p=probs)])
+        return np.asarray(centroids, dtype=np.float64)
+
+
+def _bic(x: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """Schwarz criterion used by SimPoint to pick k (higher is better)."""
+    n, d = x.shape
+    k = len(centroids)
+    sse = float(((x - centroids[labels]) ** 2).sum())
+    variance = max(sse / max(n - k, 1), 1e-12)
+    log_likelihood = -0.5 * n * np.log(2 * np.pi * variance) - 0.5 * (n - k)
+    return float(log_likelihood - 0.5 * k * (d + 1) * np.log(n))
+
+
+@dataclass
+class SimPointResult:
+    """Outcome of phase extraction over a program's intervals."""
+
+    labels: np.ndarray  # cluster id per interval
+    representatives: tuple[int, ...]  # interval index per cluster
+    weights: tuple[float, ...]  # cluster size fractions
+    bbvs: np.ndarray
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.representatives)
+
+
+def extract_phases(
+    program: Program,
+    max_phases: int = 10,
+    bbv_dim: int = 64,
+    seed: int = 0,
+    select_k: bool = False,
+) -> SimPointResult:
+    """Cluster a program's intervals into phases (SimPoint pipeline).
+
+    Args:
+        program: the program whose intervals to cluster.
+        max_phases: k (paper: 10); with ``select_k`` this is the upper
+            bound of a BIC search.
+        bbv_dim: hashed BBV dimensionality.
+        seed: clustering seed.
+        select_k: pick k by BIC instead of using ``max_phases`` directly.
+    """
+    bbvs = np.asarray([
+        basic_block_vector(program.interval_trace(i), dim=bbv_dim)
+        for i in range(program.n_intervals)
+    ])
+    best: tuple[float, np.ndarray, np.ndarray] | None = None
+    candidates = range(2, max_phases + 1) if select_k else [max_phases]
+    for k in candidates:
+        labels, centroids = KMeans(n_clusters=k, seed=seed).fit(bbvs)
+        score = _bic(bbvs, labels, centroids)
+        if best is None or score > best[0]:
+            best = (score, labels, centroids)
+    assert best is not None
+    _, labels, centroids = best
+    representatives = []
+    weights = []
+    present = sorted(set(labels.tolist()))
+    for c in present:
+        members = np.flatnonzero(labels == c)
+        distances = ((bbvs[members] - centroids[c]) ** 2).sum(axis=1)
+        representatives.append(int(members[distances.argmin()]))
+        weights.append(len(members) / len(labels))
+    # Compact labels to 0..n_present-1.
+    remap = {c: i for i, c in enumerate(present)}
+    labels = np.asarray([remap[c] for c in labels.tolist()], dtype=np.int64)
+    return SimPointResult(
+        labels=labels,
+        representatives=tuple(representatives),
+        weights=tuple(weights),
+        bbvs=bbvs,
+    )

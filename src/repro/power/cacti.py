@@ -1,0 +1,155 @@
+"""Cacti-style analytical latency / energy / area model.
+
+The paper altered Wattch's underlying Cacti models so that access latency
+and energy-per-access track each structure's configured size, and used them
+to model component latencies as sizes vary.  This module provides that
+scaling analytically: a :class:`CactiModel` maps an :class:`ArrayGeometry`
+(entries x bits, port counts, CAM-ness) to
+
+* access latency in nanoseconds — grows with array size and port count;
+* dynamic read/write energy per access in picojoules — grows with array
+  size and superlinearly with port count (ports widen every cell);
+* leakage power in milliwatts — proportional to transistor count;
+* transistor count — used by the reconfiguration cost model of section
+  VIII (powering up 1.2M transistors takes 200ns).
+
+Absolute values target a ~70nm-class technology and only need to be
+*plausible*; every experiment in the paper (and in this reproduction) is a
+relative comparison under one consistent model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ArrayGeometry", "CactiModel"]
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Geometry of one SRAM/CAM array.
+
+    Attributes:
+        entries: number of addressable entries (rows).
+        entry_bits: data bits per entry.
+        read_ports: dedicated read port count.
+        write_ports: dedicated write port count.
+        is_cam: content-addressable array (e.g. issue-queue wakeup); a CAM
+            match touches every entry's tag, adding entry-count-proportional
+            energy and latency.
+        tag_bits: tag width for CAM matches (ignored for RAM).
+    """
+
+    entries: int
+    entry_bits: int
+    read_ports: int = 1
+    write_ports: int = 1
+    is_cam: bool = False
+    tag_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.entry_bits <= 0:
+            raise ValueError("array must have positive entries and entry_bits")
+        if self.read_ports < 1 or self.write_ports < 1:
+            raise ValueError("arrays need at least one read and one write port")
+        if self.is_cam and self.tag_bits <= 0:
+            raise ValueError("CAM arrays need positive tag_bits")
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * (self.entry_bits + (self.tag_bits if self.is_cam else 0))
+
+    @property
+    def ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+
+class CactiModel:
+    """Analytical scaling laws for SRAM/CAM arrays.
+
+    The constants below were chosen so that representative structures land
+    at credible absolute numbers (a 32KB 2-port L1 reads in ~1.1ns for
+    ~45pJ; a 4MB L2 reads in ~3.3ns; a 160-entry 24-port register file
+    reads in ~1ns for a few pJ) and, more importantly, so that the partial
+    derivatives all have the right sign and rough magnitude: doubling a
+    structure raises its latency, per-access energy and leakage; adding
+    ports costs superlinearly.
+    """
+
+    # Latency model: t = T_BASE + T_DECODE*log2(bits) + T_WIRE*sqrt(bits)*f(ports)
+    T_BASE_NS = 0.15
+    T_DECODE_NS = 0.032
+    T_WIRE_NS = 0.00030
+    T_PORT_FACTOR = 0.15
+    T_CAM_NS_PER_ENTRY = 0.0016
+
+    # Energy model (pJ): bitline/wordline term + sense term + port blowup.
+    E_BITLINE_PJ = 0.012
+    E_SENSE_PJ_PER_BIT = 0.10
+    E_PORT_FACTOR = 0.30
+    E_WRITE_FACTOR = 1.15
+    E_CAM_PJ_PER_TAGBIT = 0.0028
+
+    # Leakage: per-bit leakage grows with port count (cell area).
+    LEAK_MW_PER_BIT = 120e-6
+    LEAK_PORT_FACTOR = 0.20
+
+    # Transistor model: 6T cell plus ~2 transistors per extra port per bit.
+    TRANSISTORS_PER_BIT = 6.0
+    TRANSISTORS_PER_EXTRA_PORT_BIT = 2.0
+
+    def _port_scale(self, geometry: ArrayGeometry, factor: float) -> float:
+        return 1.0 + factor * (geometry.ports - 1)
+
+    def access_latency_ns(self, geometry: ArrayGeometry) -> float:
+        """Read access time in nanoseconds."""
+        bits = geometry.total_bits
+        latency = (
+            self.T_BASE_NS
+            + self.T_DECODE_NS * math.log2(bits)
+            + self.T_WIRE_NS
+            * math.sqrt(bits)
+            * self._port_scale(geometry, self.T_PORT_FACTOR)
+        )
+        if geometry.is_cam:
+            latency += self.T_CAM_NS_PER_ENTRY * geometry.entries
+        return latency
+
+    def read_energy_pj(self, geometry: ArrayGeometry) -> float:
+        """Dynamic energy of one read access, in picojoules.
+
+        The whole access (bitlines *and* sensing) scales with port count:
+        extra ports stretch every wire in the array.
+        """
+        bits = geometry.total_bits
+        energy = (
+            self.E_BITLINE_PJ * math.sqrt(bits)
+            + self.E_SENSE_PJ_PER_BIT * geometry.entry_bits
+        ) * self._port_scale(geometry, self.E_PORT_FACTOR)
+        if geometry.is_cam:
+            energy += self.E_CAM_PJ_PER_TAGBIT * geometry.entries * geometry.tag_bits
+        return energy
+
+    def write_energy_pj(self, geometry: ArrayGeometry) -> float:
+        """Dynamic energy of one write access, in picojoules."""
+        bits = geometry.total_bits
+        return self.E_WRITE_FACTOR * (
+            self.E_BITLINE_PJ * math.sqrt(bits)
+            + self.E_SENSE_PJ_PER_BIT * geometry.entry_bits
+        ) * self._port_scale(geometry, self.E_PORT_FACTOR)
+
+    def leakage_mw(self, geometry: ArrayGeometry) -> float:
+        """Static (leakage) power of the array, in milliwatts."""
+        return (
+            self.LEAK_MW_PER_BIT
+            * geometry.total_bits
+            * self._port_scale(geometry, self.LEAK_PORT_FACTOR)
+        )
+
+    def transistors(self, geometry: ArrayGeometry) -> float:
+        """Approximate transistor count, for reconfiguration costing."""
+        per_bit = self.TRANSISTORS_PER_BIT + self.TRANSISTORS_PER_EXTRA_PORT_BIT * (
+            geometry.ports - 1
+        )
+        return per_bit * geometry.total_bits

@@ -1,0 +1,64 @@
+"""Performance metrics, most importantly the paper's ips^3/Watt.
+
+Section V-B: energy efficiency is measured as ``ips^3 / W`` where ``ips``
+is instructions per second and ``W`` the average power in watts.  The cube
+weights performance over power (equivalent to the inverse
+energy-delay-squared product), the standard high-performance
+efficiency metric attributed to [26] (Hartstein & Puzak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EfficiencyResult", "energy_efficiency"]
+
+
+@dataclass(frozen=True)
+class EfficiencyResult:
+    """Performance/power summary of one (phase, configuration) evaluation."""
+
+    instructions: int
+    cycles: int
+    time_ns: float
+    energy_pj: float
+
+    def __post_init__(self) -> None:
+        if self.time_ns <= 0 or self.instructions <= 0:
+            raise ValueError("time and instruction count must be positive")
+        if self.energy_pj <= 0:
+            raise ValueError("energy must be positive")
+
+    @property
+    def ips(self) -> float:
+        """Instructions per second."""
+        return self.instructions / (self.time_ns * 1e-9)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def power_watts(self) -> float:
+        return self.energy_pj / self.time_ns * 1e-3
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy_pj * 1e-12
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's metric: ips^3 per watt."""
+        return energy_efficiency(self.ips, self.power_watts)
+
+    @property
+    def bips3_per_watt(self) -> float:
+        """Same metric in (billions of ips)^3 / W — friendlier magnitudes."""
+        return (self.ips / 1e9) ** 3 / self.power_watts
+
+
+def energy_efficiency(ips: float, watts: float) -> float:
+    """``ips^3 / W`` (section V-B)."""
+    if watts <= 0:
+        raise ValueError("power must be positive")
+    return ips**3 / watts

@@ -1,0 +1,129 @@
+"""Wattch-style power accounting.
+
+Wattch computes processor power as per-structure *activity* (access counts)
+times per-access energy, plus leakage over time.  Both of this repository's
+timing models produce the same activity vocabulary (the keys of
+``SimResult.activity``); this module turns an activity dictionary plus the
+:class:`~repro.timing.resources.MachineParams` into a :class:`PowerReport`
+with per-structure energy, total power, and the paper's energy-efficiency
+metric inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import at runtime would be circular (timing uses cacti)
+    from repro.timing.resources import MachineParams
+
+__all__ = ["PowerReport", "account"]
+
+#: Maps activity keys to (structure, kind) where kind selects read or write
+#: energy.  ALU ops are priced separately.
+_ACTIVITY_STRUCTURE = {
+    "icache_access": ("icache", "read"),
+    "dcache_access": ("dcache", "read"),
+    "l2_access": ("l2", "read"),
+    "gshare_access": ("gshare", "read"),
+    "btb_access": ("btb", "read"),
+    "rob_write": ("rob", "write"),
+    "rob_read": ("rob", "read"),
+    "iq_write": ("iq", "write"),
+    "iq_wakeup": ("iq", "read"),  # CAM broadcast
+    "iq_select": ("iq", "read"),
+    "lsq_write": ("lsq", "write"),
+    "lsq_search": ("lsq", "read"),
+    "rf_read_int": ("rf", "read"),
+    "rf_read_fp": ("rf", "read"),
+    "rf_write_int": ("rf", "write"),
+    "rf_write_fp": ("rf", "write"),
+}
+
+_ALU_KEYS = {
+    "ialu_op": "ialu",
+    "imul_op": "imul",
+    "falu_op": "falu",
+    "fmul_op": "fmul",
+}
+
+#: Memory-bus energy per off-chip (L2-miss) transfer, picojoules.
+MEMORY_ACCESS_PJ = 4000.0
+
+
+@dataclass
+class PowerReport:
+    """Energy and power of one run."""
+
+    time_ns: float
+    dynamic_pj: float
+    leakage_pj: float
+    clock_pj: float
+    per_structure_pj: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_pj + self.leakage_pj + self.clock_pj
+
+    @property
+    def energy_joules(self) -> float:
+        return self.total_pj * 1e-12
+
+    @property
+    def power_watts(self) -> float:
+        if self.time_ns <= 0:
+            return 0.0
+        return self.total_pj / self.time_ns * 1e-3  # pJ/ns = mW
+
+
+def account(
+    activity: dict[str, int], params: "MachineParams", cycles: int
+) -> PowerReport:
+    """Price an activity dictionary under ``params``.
+
+    Args:
+        activity: per-event access counts (the ``SimResult.activity``
+            vocabulary; unknown keys raise).
+        params: derived machine parameters (energies, leakage, clocking).
+        cycles: total cycles of the run (for clock and leakage energy).
+    """
+    from repro.timing.resources import ALU_ENERGY_PJ
+
+    per_structure: dict[str, float] = {}
+    dynamic = 0.0
+    for key, count in activity.items():
+        if count == 0:
+            continue
+        if key in _ALU_KEYS:
+            energy = ALU_ENERGY_PJ[_ALU_KEYS[key]] * count
+            per_structure["alu"] = per_structure.get("alu", 0.0) + energy
+        elif key in _ACTIVITY_STRUCTURE:
+            name, kind = _ACTIVITY_STRUCTURE[key]
+            costs = params.structures[name]
+            per_access = (
+                costs.read_energy_pj if kind == "read" else costs.write_energy_pj
+            )
+            energy = per_access * count
+            per_structure[name] = per_structure.get(name, 0.0) + energy
+        elif key.endswith("_miss"):
+            if key == "l2_miss":
+                energy = MEMORY_ACCESS_PJ * count
+                per_structure["memory_bus"] = (
+                    per_structure.get("memory_bus", 0.0) + energy
+                )
+            else:
+                continue  # L1 misses are priced via their l2_access events
+        else:
+            raise KeyError(f"unknown activity key: {key}")
+        dynamic += energy
+
+    time_ns = cycles * params.period_ns
+    leakage = params.total_leakage_mw * time_ns  # mW * ns = pJ
+    clock = params.clock_energy_pj_per_cycle * cycles
+    return PowerReport(
+        time_ns=time_ns,
+        dynamic_pj=dynamic,
+        leakage_pj=leakage,
+        clock_pj=clock,
+        per_structure_pj=per_structure,
+    )

@@ -1,0 +1,44 @@
+"""Timing models: cycle-level core, fast interval evaluator, and substrates."""
+
+from repro.timing.branch import GshareBTB, simulate_btb, simulate_gshare
+from repro.timing.caches import (
+    Cache,
+    CacheHierarchy,
+    block_reuse_distances,
+    miss_ratio_curve,
+    set_reuse_distances,
+    stack_distances,
+)
+from repro.timing.characterize import TraceCharacterization, characterize
+from repro.timing.cycle import CycleSimulator, SimResult, SimulationError
+from repro.timing.interval import IntervalEvaluator
+from repro.timing.resources import (
+    ARCH_REGS,
+    CACHE_BLOCK_BYTES,
+    MachineParams,
+    OpClass,
+    derive_machine_params,
+)
+
+__all__ = [
+    "ARCH_REGS",
+    "CACHE_BLOCK_BYTES",
+    "Cache",
+    "CacheHierarchy",
+    "CycleSimulator",
+    "GshareBTB",
+    "IntervalEvaluator",
+    "MachineParams",
+    "OpClass",
+    "SimResult",
+    "SimulationError",
+    "TraceCharacterization",
+    "block_reuse_distances",
+    "characterize",
+    "derive_machine_params",
+    "miss_ratio_curve",
+    "set_reuse_distances",
+    "simulate_btb",
+    "simulate_gshare",
+    "stack_distances",
+]

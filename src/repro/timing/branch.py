@@ -1,0 +1,144 @@
+"""Branch prediction: gshare direction predictor and a direct-mapped BTB.
+
+Both structures follow the Table I design space: the gshare pattern table
+varies from 1K to 32K two-bit counters (history length tracks the index
+width) and the BTB from 1K to 4K entries.  A fetched branch is considered
+*mispredicted* when the predicted direction is wrong, or when it is taken
+but misses in the BTB (no target to redirect to).
+
+Besides the stateful predictor used by the cycle-level core, this module
+provides batch simulation helpers used by the trace characterisation of
+:mod:`repro.timing.interval` (mispredict rate as a function of predictor
+size) and by the counter machinery (BTB reuse distances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GshareBTB", "simulate_gshare", "simulate_btb"]
+
+
+class GshareBTB:
+    """A gshare direction predictor fused with a direct-mapped BTB.
+
+    Args:
+        gshare_entries: pattern-history-table size (power of two).
+        btb_entries: BTB entry count (power of two).
+    """
+
+    def __init__(self, gshare_entries: int, btb_entries: int) -> None:
+        if gshare_entries & (gshare_entries - 1) or gshare_entries <= 0:
+            raise ValueError("gshare_entries must be a power of two")
+        if btb_entries & (btb_entries - 1) or btb_entries <= 0:
+            raise ValueError("btb_entries must be a power of two")
+        self.gshare_entries = gshare_entries
+        self.btb_entries = btb_entries
+        self._pht = np.full(gshare_entries, 2, dtype=np.int8)  # weakly taken
+        self._pht_mask = gshare_entries - 1
+        self._history_bits = int(gshare_entries).bit_length() - 1
+        self._history = 0
+        self._btb_tag = np.full(btb_entries, -1, dtype=np.int64)
+        self._btb_mask = btb_entries - 1
+        self.lookups = 0
+        self.updates = 0
+        self.direction_mispredicts = 0
+        self.btb_misses = 0
+
+    def _pht_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._pht_mask
+
+    def predict(self, pc: int) -> tuple[bool, bool]:
+        """Predict branch at ``pc``.
+
+        Returns:
+            ``(predicted_taken, btb_hit)``.
+        """
+        self.lookups += 1
+        taken = self._pht[self._pht_index(pc)] >= 2
+        btb_hit = self._btb_tag[(pc >> 2) & self._btb_mask] == pc
+        return bool(taken), bool(btb_hit)
+
+    def is_mispredict(self, predicted_taken: bool, btb_hit: bool,
+                      actual_taken: bool) -> bool:
+        """Apply the misprediction rule (direction wrong, or taken+BTB miss)."""
+        if predicted_taken != actual_taken:
+            return True
+        return actual_taken and not btb_hit
+
+    def update(self, pc: int, actual_taken: bool) -> None:
+        """Train direction counter, global history and BTB with the outcome."""
+        self.updates += 1
+        index = self._pht_index(pc)
+        if actual_taken:
+            self._pht[index] = min(3, self._pht[index] + 1)
+        else:
+            self._pht[index] = max(0, self._pht[index] - 1)
+        self._history = ((self._history << 1) | int(actual_taken)) & (
+            (1 << self._history_bits) - 1 if self._history_bits else 0
+        )
+        if actual_taken:
+            self._btb_tag[(pc >> 2) & self._btb_mask] = pc
+
+    def predict_and_update(self, pc: int, actual_taken: bool) -> bool:
+        """Trace-driven one-shot: predict, train, return mispredict flag."""
+        predicted, btb_hit = self.predict(pc)
+        mispredict = self.is_mispredict(predicted, btb_hit, actual_taken)
+        if mispredict:
+            self.direction_mispredicts += int(predicted != actual_taken)
+            self.btb_misses += int(predicted == actual_taken)
+        self.update(pc, actual_taken)
+        return mispredict
+
+
+def simulate_gshare(
+    pcs: np.ndarray, taken: np.ndarray, entries: int
+) -> float:
+    """Direction mispredict *rate* of a gshare of ``entries`` counters over
+    a branch stream.  Used by the trace characterisation."""
+    if len(pcs) != len(taken):
+        raise ValueError("pcs and taken must have equal length")
+    if len(pcs) == 0:
+        return 0.0
+    mask = entries - 1
+    history_mask = mask
+    pht = np.full(entries, 2, dtype=np.int8)
+    history = 0
+    wrong = 0
+    shifted = (pcs.astype(np.int64) >> 2)
+    for i in range(len(pcs)):
+        index = (int(shifted[i]) ^ history) & mask
+        counter = pht[index]
+        outcome = bool(taken[i])
+        if (counter >= 2) != outcome:
+            wrong += 1
+        if outcome:
+            if counter < 3:
+                pht[index] = counter + 1
+        elif counter > 0:
+            pht[index] = counter - 1
+        history = ((history << 1) | int(outcome)) & history_mask
+    return wrong / len(pcs)
+
+
+def simulate_btb(pcs: np.ndarray, taken: np.ndarray, entries: int) -> float:
+    """Fraction of *taken* branches missing a direct-mapped BTB of
+    ``entries`` entries (1.0 if the stream has no taken branches is 0.0)."""
+    if len(pcs) != len(taken):
+        raise ValueError("pcs and taken must have equal length")
+    mask = entries - 1
+    tags: dict[int, int] = {}
+    misses = 0
+    taken_count = 0
+    for i in range(len(pcs)):
+        pc = int(pcs[i])
+        if not taken[i]:
+            continue
+        taken_count += 1
+        index = (pc >> 2) & mask
+        if tags.get(index) != pc:
+            misses += 1
+        tags[index] = pc
+    if taken_count == 0:
+        return 0.0
+    return misses / taken_count

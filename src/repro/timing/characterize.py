@@ -1,0 +1,308 @@
+"""Configuration-independent trace characterisation.
+
+The section V-C protocol needs each phase evaluated on hundreds to
+thousands of configurations.  Rather than paying a full cycle-level
+simulation per point, we characterise each trace *once* and let the fast
+interval evaluator (:mod:`repro.timing.interval`) price any configuration
+analytically.  The characterisation captures everything the Table I
+parameters interact with:
+
+* **ILP curves** — average dataflow critical-path length of w-instruction
+  windows, both unit-weighted (ops) and load-weighted, for a grid of
+  window sizes: window-limited IPC for any ROB/IQ/LSQ/RF/branch limit and
+  any ALU/load latency follows by interpolation;
+* **miss-ratio curves** — LRU stack-distance profiles of the data and
+  instruction streams (Mattson: one pass serves all cache sizes);
+* **branch tables** — trained gshare mispredict rate for each of the six
+  predictor sizes and BTB taken-miss rate for each of the three BTB sizes;
+* **mix statistics** — op fractions, source/destination densities, fetch
+  run lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.parameters import parameter_by_name
+from repro.timing.branch import simulate_btb, simulate_gshare
+from repro.timing.caches import smoothed_miss_curve, stack_distances
+from repro.timing.resources import CACHE_BLOCK_BYTES, OpClass
+from repro.workloads.trace import Trace
+
+__all__ = ["TraceCharacterization", "characterize", "WINDOW_GRID"]
+
+#: Window sizes for the ILP curves (covers the ROB range of Table I).
+WINDOW_GRID: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 224)
+
+#: Nominal load latency used for the load-weighted critical path.
+_NOMINAL_LOAD_WEIGHT = 4.0
+
+
+@dataclass(frozen=True)
+class TraceCharacterization:
+    """Everything the interval evaluator needs to price configurations."""
+
+    instructions: int
+    mem_frac: float
+    load_frac: float
+    store_frac: float
+    branch_frac: float
+    taken_branch_frac: float  # taken branches / instructions
+    fp_frac: float
+    int_dest_frac: float  # instructions writing the integer file
+    fp_dest_frac: float
+    int_src_density: float  # integer-file reads per instruction
+    fp_src_density: float
+    fetch_block_frac: float  # i-cache block transitions per instruction
+    op_fracs: tuple[float, ...]  # fraction per OpClass code
+
+    # ILP: mean critical-path depth of w-instruction windows.
+    window_sizes: tuple[int, ...]
+    path_ops: tuple[float, ...]  # unit-weighted depth
+    path_weighted: tuple[float, ...]  # loads weighted _NOMINAL_LOAD_WEIGHT
+
+    # Memory: fully-associative miss ratios per capacity (in blocks).
+    dcache_miss: dict[int, float]
+    icache_miss: dict[int, float]
+    l2_data_miss: dict[int, float]
+    l2_inst_miss: dict[int, float]
+
+    # Branches.
+    gshare_mispredict: dict[int, float]  # per gshare size, of branches
+    btb_taken_miss: dict[int, float]  # per BTB size, of taken branches
+
+    def ilp(self, window: float, alu_latency: float, load_latency: float) -> float:
+        """Window-limited IPC for the given effective window and latencies.
+
+        The unit-weighted and load-weighted critical paths let us separate
+        the ALU and load contributions to the path:
+        ``loads_on_path = (weighted - ops) / (nominal_load_weight - 1)``.
+        """
+        if window <= self.window_sizes[0]:
+            window = self.window_sizes[0]
+        w = min(window, self.window_sizes[-1])
+        ops = float(np.interp(w, self.window_sizes, self.path_ops))
+        weighted = float(np.interp(w, self.window_sizes, self.path_weighted))
+        loads_on_path = max(0.0, (weighted - ops) / (_NOMINAL_LOAD_WEIGHT - 1.0))
+        alu_on_path = max(1e-9, ops - loads_on_path)
+        path_cycles = alu_on_path * alu_latency + loads_on_path * load_latency
+        return w / max(path_cycles, 1e-9)
+
+    @staticmethod
+    def _lookup(curve: dict[int, float], capacity: int) -> float:
+        if capacity in curve:
+            return curve[capacity]
+        keys = sorted(curve)
+        values = [curve[k] for k in keys]
+        return float(np.interp(capacity, keys, values))
+
+    def dcache_miss_rate(self, size_bytes: int) -> float:
+        return self._lookup(self.dcache_miss, size_bytes // CACHE_BLOCK_BYTES)
+
+    def icache_miss_rate(self, size_bytes: int) -> float:
+        return self._lookup(self.icache_miss, size_bytes // CACHE_BLOCK_BYTES)
+
+    def l2_miss_rates(self, size_bytes: int) -> tuple[float, float]:
+        """(data-side, instruction-side) L2 miss ratios, as fractions of the
+        respective *L1 access* streams."""
+        blocks = size_bytes // CACHE_BLOCK_BYTES
+        return (
+            self._lookup(self.l2_data_miss, blocks),
+            self._lookup(self.l2_inst_miss, blocks),
+        )
+
+
+def _critical_paths(trace: Trace) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Mean critical-path depths of windows of each WINDOW_GRID size."""
+    n = len(trace)
+    ops = trace.ops
+    src1 = trace.src1
+    src2 = trace.src2
+    is_load = (ops == OpClass.LOAD)
+    path_ops: list[float] = []
+    path_weighted: list[float] = []
+    src1_list = src1.tolist()
+    src2_list = src2.tolist()
+    load_list = is_load.tolist()
+    for w in WINDOW_GRID:
+        total_ops = 0.0
+        total_weighted = 0.0
+        blocks = 0
+        for start in range(0, n - w + 1, w):
+            depth_ops = [0.0] * w
+            depth_weighted = [0.0] * w
+            max_ops = 0.0
+            max_weighted = 0.0
+            for j in range(w):
+                i = start + j
+                weight = _NOMINAL_LOAD_WEIGHT if load_list[i] else 1.0
+                best_o = 0.0
+                best_w = 0.0
+                d1 = src1_list[i]
+                if d1 and d1 <= j:
+                    best_o = depth_ops[j - d1]
+                    best_w = depth_weighted[j - d1]
+                d2 = src2_list[i]
+                if d2 and d2 <= j:
+                    o = depth_ops[j - d2]
+                    if o > best_o:
+                        best_o = o
+                    v = depth_weighted[j - d2]
+                    if v > best_w:
+                        best_w = v
+                o = best_o + 1.0
+                v = best_w + weight
+                depth_ops[j] = o
+                depth_weighted[j] = v
+                if o > max_ops:
+                    max_ops = o
+                if v > max_weighted:
+                    max_weighted = v
+            total_ops += max_ops
+            total_weighted += max_weighted
+            blocks += 1
+        path_ops.append(total_ops / max(blocks, 1))
+        path_weighted.append(total_weighted / max(blocks, 1))
+    return tuple(path_ops), tuple(path_weighted)
+
+
+def characterize(
+    trace: Trace, warm_trace: Trace | None = None
+) -> TraceCharacterization:
+    """Characterise ``trace`` (one pass per analysis; seconds at most).
+
+    Args:
+        trace: the phase trace to characterise.
+        warm_trace: sibling stream of the same phase used to *train* the
+            branch predictor models before measuring on ``trace``.  Without
+            one, the trace warms itself — which lets a long-history gshare
+            memorise the exact outcome sequence and under-reports
+            mispredictions for poorly-biased branch behaviour.
+    """
+    n = len(trace)
+    ops = trace.ops
+    is_load = trace.is_load
+    is_store = trace.is_store
+    is_mem = trace.is_mem
+    is_branch = trace.is_branch
+    is_fp = trace.is_fp
+
+    # -- mix ---------------------------------------------------------------
+    load_frac = float(is_load.mean())
+    store_frac = float(is_store.mean())
+    branch_frac = float(is_branch.mean())
+    taken_branch_frac = float((is_branch & trace.taken).mean())
+    fp_frac = float(is_fp.mean())
+    int_dest = (ops == OpClass.IALU) | (ops == OpClass.IMUL) | is_load
+    int_dest_frac = float(int_dest.mean())
+    fp_dest_frac = float(is_fp.mean())
+    srcs = (trace.src1 > 0).astype(np.int32) + (trace.src2 > 0).astype(np.int32)
+    srcs_mem_adjusted = np.where(is_mem, np.maximum(srcs, 1), srcs)
+    int_src_density = float(srcs_mem_adjusted[~is_fp].sum()) / n
+    fp_src_density = float(srcs_mem_adjusted[is_fp].sum()) / n
+
+    # -- ILP ----------------------------------------------------------------
+    path_ops, path_weighted = _critical_paths(trace)
+
+    # -- caches --------------------------------------------------------------
+    data_blocks = trace.addr[is_mem] // CACHE_BLOCK_BYTES
+    pc_blocks_all = trace.pc // CACHE_BLOCK_BYTES
+    transitions = np.empty(n, dtype=bool)
+    transitions[0] = True
+    transitions[1:] = pc_blocks_all[1:] != pc_blocks_all[:-1]
+    inst_blocks = pc_blocks_all[transitions]
+    fetch_block_frac = float(transitions.mean())
+
+    dcache_capacities = sorted(
+        {v // CACHE_BLOCK_BYTES for v in parameter_by_name("dcache_size").values}
+    )
+    icache_capacities = sorted(
+        {v // CACHE_BLOCK_BYTES for v in parameter_by_name("icache_size").values}
+    )
+    l2_capacities = sorted(
+        {v // CACHE_BLOCK_BYTES for v in parameter_by_name("l2_size").values}
+    )
+
+    data_sd = stack_distances(data_blocks)
+    inst_sd = stack_distances(inst_blocks)
+    # A warmed cache sees repeat behaviour: treat cold (first-touch)
+    # accesses as hits when the block would fit (the warm-up pass loaded
+    # them), i.e. miss iff distance >= capacity.  Cold distances are set to
+    # the stream's distinct-block count so tiny caches still miss them.
+    data_sd = np.where(data_sd < 0, len(np.unique(data_blocks)), data_sd)
+    inst_sd = np.where(inst_sd < 0, len(np.unique(inst_blocks)), inst_sd)
+
+    dcache_miss = smoothed_miss_curve(data_sd, dcache_capacities)
+    icache_miss = smoothed_miss_curve(inst_sd, icache_capacities)
+    l2_data_miss = smoothed_miss_curve(data_sd, l2_capacities)
+    l2_inst_miss = smoothed_miss_curve(inst_sd, l2_capacities)
+
+    # -- branches ------------------------------------------------------------
+    branch_pcs = trace.pc[is_branch]
+    branch_taken = trace.taken[is_branch]
+    warm = warm_trace if warm_trace is not None else trace
+    warm_pcs = warm.pc[warm.is_branch]
+    warm_taken = warm.taken[warm.is_branch]
+    # Train on the warm stream, measure on the trace: rate over the
+    # concatenation minus the training stream's own misses.
+    joint_pcs = np.concatenate([warm_pcs, branch_pcs])
+    joint_taken = np.concatenate([warm_taken, branch_taken])
+    n_measure = len(branch_pcs)
+    n_train = len(warm_pcs)
+
+    gshare_mispredict = {}
+    for size in parameter_by_name("gshare_size").values:
+        if n_measure == 0:
+            gshare_mispredict[size] = 0.0
+            continue
+        misses_joint = simulate_gshare(joint_pcs, joint_taken, size) * (
+            n_train + n_measure
+        )
+        misses_train = simulate_gshare(warm_pcs, warm_taken, size) * n_train
+        gshare_mispredict[size] = max(
+            0.0, (misses_joint - misses_train) / n_measure
+        )
+
+    taken_measure = int(branch_taken.sum())
+    taken_train = int(warm_taken.sum())
+    btb_taken_miss = {}
+    for size in parameter_by_name("btb_size").values:
+        if taken_measure == 0:
+            btb_taken_miss[size] = 0.0
+            continue
+        misses_joint = simulate_btb(joint_pcs, joint_taken, size) * (
+            taken_train + taken_measure
+        )
+        misses_train = simulate_btb(warm_pcs, warm_taken, size) * taken_train
+        btb_taken_miss[size] = max(
+            0.0, (misses_joint - misses_train) / taken_measure
+        )
+
+    return TraceCharacterization(
+        instructions=n,
+        mem_frac=load_frac + store_frac,
+        load_frac=load_frac,
+        store_frac=store_frac,
+        branch_frac=branch_frac,
+        taken_branch_frac=taken_branch_frac,
+        fp_frac=fp_frac,
+        int_dest_frac=int_dest_frac,
+        fp_dest_frac=fp_dest_frac,
+        int_src_density=int_src_density,
+        fp_src_density=fp_src_density,
+        fetch_block_frac=fetch_block_frac,
+        op_fracs=tuple(
+            float((ops == code).mean()) for code in range(len(OpClass.NAMES))
+        ),
+        window_sizes=WINDOW_GRID,
+        path_ops=path_ops,
+        path_weighted=path_weighted,
+        dcache_miss=dcache_miss,
+        icache_miss=icache_miss,
+        l2_data_miss=l2_data_miss,
+        l2_inst_miss=l2_inst_miss,
+        gshare_mispredict=gshare_mispredict,
+        btb_taken_miss=btb_taken_miss,
+    )

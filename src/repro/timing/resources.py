@@ -1,0 +1,246 @@
+"""Derived machine parameters for a configuration.
+
+Both timing models (the cycle-level core of :mod:`repro.timing.cycle` and
+the fast interval evaluator of :mod:`repro.timing.interval`) and the Wattch
+power accounting consume the same derived view of a
+:class:`~repro.config.MicroarchConfig`, computed here:
+
+* clock frequency and pipeline geometry from the FO4-per-stage depth
+  parameter (Table I "Depth"), including the branch misprediction penalty
+  that grows with pipeline depth;
+* per-structure access latencies in *cycles* (Cacti nanosecond latencies
+  divided by the clock period, so deep pipelines see multi-cycle
+  structures);
+* per-access energies and leakage per structure, from the same Cacti model.
+
+Keeping this in one place guarantees that every evaluator in the repository
+prices a configuration identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.config.configuration import MicroarchConfig
+from repro.power.cacti import ArrayGeometry, CactiModel
+
+__all__ = ["MachineParams", "OpClass", "CACHE_BLOCK_BYTES", "derive_machine_params"]
+
+#: Cache block size used throughout the repository (bytes).
+CACHE_BLOCK_BYTES = 64
+
+#: Architectural registers reserved out of each physical register file.
+ARCH_REGS = 32
+
+#: FO4 inverter delay for the modelled technology, picoseconds.
+FO4_DELAY_PS = 18.0
+
+#: Total pipeline logic depth in FO4; stages = ceil(total / per-stage FO4).
+TOTAL_PIPELINE_FO4 = 280.0
+
+#: Front-end (fetch-to-rename) logic depth in FO4; sets the refill part of
+#: the branch misprediction penalty.
+FRONTEND_FO4 = 120.0
+
+#: Fixed part of the misprediction penalty (resolve/redirect), cycles.
+MISPREDICT_FIXED_CYCLES = 3
+
+#: Main-memory access latency (flat), nanoseconds.
+MEMORY_LATENCY_NS = 80.0
+
+#: Per-latch-per-cycle clock+latch energy, picojoules.  Scales with
+#: width x stages: deeper and wider pipelines burn more clock power.
+LATCH_ENERGY_PJ = 8.0
+
+#: Functional unit energies per operation, picojoules.
+ALU_ENERGY_PJ = {"ialu": 80.0, "imul": 180.0, "falu": 160.0, "fmul": 260.0}
+
+#: Functional unit logic depths in FO4.  Latency in cycles is this depth
+#: divided by the per-stage FO4 budget (rounded, minimum one cycle), so a
+#: deep pipeline sees multi-cycle ALUs while a shallow one fits the whole
+#: ALU in a stage.
+ALU_LATENCY_FO4 = {"ialu": 14.0, "imul": 55.0, "falu": 45.0, "fmul": 68.0}
+
+
+class OpClass:
+    """Instruction class codes used by traces and simulators."""
+
+    IALU = 0
+    IMUL = 1
+    FALU = 2
+    FMUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    NAMES = ("ialu", "imul", "falu", "fmul", "load", "store", "branch")
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls.NAMES[code]
+
+
+@dataclass(frozen=True)
+class StructureCosts:
+    """Per-access dynamic energy (pJ), leakage (mW), latency (cycles) and
+    transistor count of one structure instance."""
+
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_mw: float
+    latency_cycles: int
+    latency_ns: float
+    transistors: float
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Everything a timing or power model needs to know about one config."""
+
+    config: MicroarchConfig
+
+    # Clocking / pipeline geometry.
+    frequency_ghz: float
+    period_ns: float
+    pipeline_stages: int
+    frontend_stages: int
+    mispredict_penalty: int
+
+    # Execution resources.
+    int_alus: int
+    fp_units: int
+    mem_ports: int
+
+    # Per-op-class execution latency in cycles, indexed by OpClass code.
+    op_latency: tuple[int, ...]
+
+    # Memory hierarchy latencies in cycles (access time of that level).
+    icache_latency: int
+    dcache_latency: int
+    l2_latency: int
+    memory_latency: int
+
+    # Fractional latencies (no integer rounding) for analytical models;
+    # rounding makes the depth response artificially steppy.
+    dcache_latency_f: float
+    l2_latency_f: float
+    memory_latency_f: float
+    ialu_latency_f: float
+
+    # Structure costs keyed by structure name.
+    structures: dict[str, StructureCosts]
+
+    # Per-cycle clock/latch energy, picojoules.
+    clock_energy_pj_per_cycle: float
+
+    @property
+    def total_leakage_mw(self) -> float:
+        return sum(s.leakage_mw for s in self.structures.values())
+
+    def cycles_for_ns(self, nanoseconds: float) -> int:
+        return max(1, math.ceil(nanoseconds / self.period_ns - 1e-9))
+
+
+def _structure_geometries(config: MicroarchConfig) -> dict[str, ArrayGeometry]:
+    """Array geometries for every sized structure of the design space."""
+    width = config.width
+    mem_ports = max(1, width // 2)
+    block_bits = CACHE_BLOCK_BYTES * 8 + 40  # data + tag/state
+    return {
+        "rob": ArrayGeometry(config.rob_size, 96, width, width),
+        "iq": ArrayGeometry(
+            config.iq_size, 64, width, width, is_cam=True, tag_bits=16
+        ),
+        "lsq": ArrayGeometry(
+            config.lsq_size, 80, mem_ports, mem_ports, is_cam=True, tag_bits=40
+        ),
+        # Two register files (integer and floating point) share the RF
+        # size/port parameters; "rf" costs one file.
+        "rf": ArrayGeometry(
+            config.rf_size, 64, config.rf_rd_ports, config.rf_wr_ports
+        ),
+        "gshare": ArrayGeometry(config.gshare_size, 2, 1, 1),
+        "btb": ArrayGeometry(config.btb_size, 64, 1, 1),
+        # Caches are banked: bandwidth comes from the simulator's memory-port
+        # pool, so the arrays themselves are single-ported.
+        "icache": ArrayGeometry(config.icache_size // CACHE_BLOCK_BYTES, block_bits),
+        "dcache": ArrayGeometry(
+            config.dcache_size // CACHE_BLOCK_BYTES, block_bits
+        ),
+        "l2": ArrayGeometry(config.l2_size // CACHE_BLOCK_BYTES, block_bits),
+    }
+
+
+@lru_cache(maxsize=4096)
+def derive_machine_params(
+    config: MicroarchConfig, cacti: CactiModel | None = None
+) -> MachineParams:
+    """Compute the :class:`MachineParams` for ``config``.
+
+    Cached: configurations are immutable and experiments revisit them.
+    """
+    cacti = cacti or _DEFAULT_CACTI
+    period_ns = config.depth_fo4 * FO4_DELAY_PS / 1000.0
+    frequency_ghz = 1.0 / period_ns
+    pipeline_stages = max(5, math.ceil(TOTAL_PIPELINE_FO4 / config.depth_fo4))
+    frontend_stages = max(2, math.ceil(FRONTEND_FO4 / config.depth_fo4))
+    mispredict_penalty = frontend_stages + MISPREDICT_FIXED_CYCLES
+
+    def cycles(ns: float) -> int:
+        return max(1, math.ceil(ns / period_ns - 1e-9))
+
+    structures: dict[str, StructureCosts] = {}
+    for name, geometry in _structure_geometries(config).items():
+        latency_ns = cacti.access_latency_ns(geometry)
+        structures[name] = StructureCosts(
+            read_energy_pj=cacti.read_energy_pj(geometry),
+            write_energy_pj=cacti.write_energy_pj(geometry),
+            leakage_mw=cacti.leakage_mw(geometry)
+            * (2.0 if name == "rf" else 1.0),  # int + fp files
+            latency_cycles=cycles(latency_ns),
+            latency_ns=latency_ns,
+            transistors=cacti.transistors(geometry),
+        )
+
+    def fu_cycles(fo4: float) -> int:
+        return max(1, round(fo4 / config.depth_fo4))
+
+    op_latency = (
+        fu_cycles(ALU_LATENCY_FO4["ialu"]),
+        fu_cycles(ALU_LATENCY_FO4["imul"]),
+        fu_cycles(ALU_LATENCY_FO4["falu"]),
+        fu_cycles(ALU_LATENCY_FO4["fmul"]),
+        structures["dcache"].latency_cycles,  # LOAD: address gen + D-cache
+        1,  # STORE retires via the write buffer
+        fu_cycles(ALU_LATENCY_FO4["ialu"]),  # BRANCH resolves like an ALU op
+    )
+
+    return MachineParams(
+        config=config,
+        frequency_ghz=frequency_ghz,
+        period_ns=period_ns,
+        pipeline_stages=pipeline_stages,
+        frontend_stages=frontend_stages,
+        mispredict_penalty=mispredict_penalty,
+        int_alus=config.width,
+        fp_units=max(1, config.width // 2),
+        mem_ports=max(1, config.width // 2),
+        op_latency=op_latency,
+        icache_latency=structures["icache"].latency_cycles,
+        dcache_latency=structures["dcache"].latency_cycles,
+        l2_latency=structures["l2"].latency_cycles,
+        memory_latency=cycles(MEMORY_LATENCY_NS),
+        dcache_latency_f=max(1.0, structures["dcache"].latency_ns / period_ns),
+        l2_latency_f=max(1.0, structures["l2"].latency_ns / period_ns),
+        memory_latency_f=max(1.0, MEMORY_LATENCY_NS / period_ns),
+        ialu_latency_f=max(1.0, ALU_LATENCY_FO4["ialu"] / config.depth_fo4),
+        structures=structures,
+        clock_energy_pj_per_cycle=LATCH_ENERGY_PJ
+        * config.width
+        * pipeline_stages,
+    )
+
+
+_DEFAULT_CACTI = CactiModel()

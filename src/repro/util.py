@@ -1,0 +1,18 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_hash"]
+
+
+def stable_hash(*parts: object, bits: int = 32) -> int:
+    """Deterministic non-negative integer hash of ``parts``.
+
+    Unlike built-in ``hash``, this is stable across processes (Python
+    salts string hashing per interpreter run), so anything seeded from it
+    is reproducible.
+    """
+    digest = hashlib.sha256(repr(parts).encode()).digest()
+    return int.from_bytes(digest[: bits // 8], "little")

@@ -1,0 +1,23 @@
+"""Synthetic phase-structured workloads standing in for SPEC CPU 2000."""
+
+from repro.workloads.generator import PhaseSpec, TraceGenerator
+from repro.workloads.program import Program, make_schedule
+from repro.workloads.suite import (
+    SPEC2000_NAMES,
+    BenchmarkProfile,
+    build_program,
+    spec2000_suite,
+)
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "BenchmarkProfile",
+    "PhaseSpec",
+    "Program",
+    "SPEC2000_NAMES",
+    "Trace",
+    "TraceGenerator",
+    "build_program",
+    "make_schedule",
+    "spec2000_suite",
+]

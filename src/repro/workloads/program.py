@@ -1,0 +1,138 @@
+"""Programs: phase-structured synthetic applications.
+
+A :class:`Program` models one benchmark as a set of distinct behavioural
+phases (each a :class:`~repro.workloads.generator.PhaseSpec`) plus a
+*schedule* assigning a phase to each fixed-length execution interval —
+mirroring how SimPoint decomposes a SPEC benchmark into intervals that
+cluster into roughly ten recurring phases.  Phase segments last several
+intervals, matching the paper's observation that reconfiguration is needed
+roughly once every ten intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.generator import PhaseSpec, TraceGenerator
+from repro.workloads.trace import Trace
+
+__all__ = ["Program", "make_schedule"]
+
+
+def make_schedule(
+    n_phases: int,
+    n_intervals: int,
+    mean_segment: float = 10.0,
+    seed: int = 0,
+    revisit_prob: float = 0.45,
+) -> list[int]:
+    """A phase-id-per-interval schedule with geometric segment lengths.
+
+    Phases appear in order first (so every phase occurs), then segments
+    revisit earlier phases with probability ``revisit_prob`` — programs
+    genuinely re-enter old phases, which is what makes online phase
+    *recognition* worthwhile.
+    """
+    if n_phases < 1 or n_intervals < 1:
+        raise ValueError("need at least one phase and one interval")
+    rng = np.random.default_rng(seed)
+    schedule: list[int] = []
+    unvisited = list(range(n_phases))
+    current = unvisited.pop(0)
+    while len(schedule) < n_intervals:
+        segment = max(2, int(rng.geometric(1.0 / mean_segment)))
+        schedule.extend([current] * segment)
+        if unvisited and (not schedule or rng.random() >= revisit_prob):
+            current = unvisited.pop(0)
+        else:
+            visited = sorted(set(schedule))
+            current = int(visited[rng.integers(len(visited))])
+    return schedule[:n_intervals]
+
+
+@dataclass(frozen=True)
+class Program:
+    """One phase-structured benchmark.
+
+    Attributes:
+        name: benchmark name (e.g. ``"mcf"``).
+        phase_specs: the distinct behaviours of this program.
+        schedule: phase-spec index per interval.
+        interval_length: dynamic instructions per interval.
+        seed: base seed for dynamic-stream randomness.
+    """
+
+    name: str
+    phase_specs: tuple[PhaseSpec, ...]
+    schedule: tuple[int, ...]
+    interval_length: int
+    seed: int = 0
+    _generators: dict = field(default_factory=dict, repr=False, compare=False,
+                              hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.phase_specs:
+            raise ValueError("program needs at least one phase spec")
+        if not self.schedule:
+            raise ValueError("program needs at least one interval")
+        if self.interval_length < 8:
+            raise ValueError("interval_length must be at least 8")
+        bad = [p for p in self.schedule if not 0 <= p < len(self.phase_specs)]
+        if bad:
+            raise ValueError(f"schedule references unknown phases: {bad[:5]}")
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.schedule)
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phase_specs)
+
+    def _generator(self, phase_id: int) -> TraceGenerator:
+        generator = self._generators.get(phase_id)
+        if generator is None:
+            generator = TraceGenerator(self.phase_specs[phase_id])
+            self._generators[phase_id] = generator
+        return generator
+
+    def interval_trace(self, interval: int) -> Trace:
+        """The dynamic trace of interval ``interval``.
+
+        Intervals of the same phase share static code but run distinct
+        dynamic streams (seeded by the interval index).
+        """
+        if not 0 <= interval < self.n_intervals:
+            raise ValueError(f"interval {interval} out of range")
+        phase_id = self.schedule[interval]
+        return self._generator(phase_id).generate(
+            self.interval_length, stream_seed=(abs(self.seed), 0, interval)
+        )
+
+    def phase_trace(self, phase_id: int, length: int | None = None) -> Trace:
+        """A representative trace of phase ``phase_id``.
+
+        Used when experiments need one canonical trace per phase (the
+        SimPoint representative-interval role).
+        """
+        if not 0 <= phase_id < self.n_phases:
+            raise ValueError(f"phase {phase_id} out of range")
+        return self._generator(phase_id).generate(
+            length or self.interval_length, stream_seed=(abs(self.seed), 1, phase_id)
+        )
+
+    def phase_warm_trace(self, phase_id: int, length: int | None = None) -> Trace:
+        """A *sibling* stream of phase ``phase_id`` (distinct from
+        :meth:`phase_trace`), used to warm predictors without letting them
+        memorise the measured stream."""
+        if not 0 <= phase_id < self.n_phases:
+            raise ValueError(f"phase {phase_id} out of range")
+        return self._generator(phase_id).generate(
+            length or self.interval_length, stream_seed=(abs(self.seed), 2, phase_id)
+        )
+
+    def true_phase_of(self, interval: int) -> int:
+        """Ground-truth phase id of an interval (for detector evaluation)."""
+        return self.schedule[interval]

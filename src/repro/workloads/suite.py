@@ -1,0 +1,239 @@
+"""The synthetic SPEC CPU 2000 suite.
+
+The paper evaluates on all 26 SPEC CPU 2000 benchmarks.  This module maps
+each benchmark name to a :class:`BenchmarkProfile`: a base
+:class:`~repro.workloads.generator.PhaseSpec` capturing the benchmark's
+published character (mcf is pointer-chasing and memory bound, swim/art
+stream floating-point data, crafty/eon are branchy integer compute, gcc has
+a large code footprint, ...) plus a *variation* level controlling how much
+the benchmark's phases differ from one another (galgel and mcf show large
+intra-program phase variation in the paper; eon and lucas barely move).
+
+``spec2000_suite()`` returns the full 26-benchmark suite;
+``build_program()`` expands one profile into a phase-structured
+:class:`~repro.workloads.program.Program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import stable_hash
+from repro.workloads.generator import PhaseSpec
+from repro.workloads.program import Program, make_schedule
+
+__all__ = ["BenchmarkProfile", "spec2000_suite", "build_program", "SPEC2000_NAMES"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """One benchmark: a base behaviour plus a phase-variation level."""
+
+    name: str
+    base: PhaseSpec
+    variation: float  # 0 = phases identical, 1 = phases wildly different
+    is_fp: bool
+
+    def phase_specs(self, n_phases: int, seed: int = 0) -> tuple[PhaseSpec, ...]:
+        """Derive ``n_phases`` distinct phase behaviours from the base.
+
+        Each phase perturbs the behavioural axes by an amount scaled by the
+        benchmark's ``variation`` level.  Perturbations are deterministic
+        given the benchmark name and seed.
+        """
+        if n_phases < 1:
+            raise ValueError("n_phases must be positive")
+        rng = np.random.default_rng(stable_hash(self.name, seed, "phases"))
+        specs = []
+        v = self.variation
+        base = self.base
+        for p in range(n_phases):
+            footprint_scale = float(2.0 ** rng.normal(0.0, 1.3 * v))
+            ilp_scale = float(2.0 ** rng.normal(0.0, 0.8 * v))
+            code_scale = float(2.0 ** rng.normal(0.0, 0.9 * v))
+            specs.append(base.varied(
+                name=f"{self.name}.p{p}",
+                ilp_mean=float(np.clip(base.ilp_mean * ilp_scale, 1.5, 48.0)),
+                serial_frac=float(np.clip(
+                    base.serial_frac + rng.normal(0.0, 0.12 * v), 0.02, 0.85)),
+                footprint_blocks=int(np.clip(
+                    base.footprint_blocks * footprint_scale, 16, 120_000)),
+                reuse_alpha=float(np.clip(
+                    base.reuse_alpha + rng.normal(0.0, 0.45 * v), 0.45, 3.5)),
+                streaming_frac=float(np.clip(
+                    base.streaming_frac + rng.normal(0.0, 0.10 * v), 0.0, 0.70)),
+                scatter_frac=float(np.clip(
+                    base.scatter_frac * float(2.0 ** rng.normal(0.0, 0.8 * v)),
+                    0.0, 0.60)),
+                hot_blocks=int(np.clip(
+                    base.hot_blocks * float(2.0 ** rng.normal(0.0, 1.2 * v)),
+                    8, 2048)),
+                hot_frac=float(np.clip(
+                    base.hot_frac + rng.normal(0.0, 0.25 * v), 0.08, 0.8)),
+                code_blocks=int(np.clip(
+                    base.code_blocks * code_scale, 8, 4000)),
+                branch_bias=float(np.clip(
+                    base.branch_bias + rng.normal(0.0, 0.06 * v), 0.55, 0.995)),
+                loop_branch_frac=float(np.clip(
+                    base.loop_branch_frac + rng.normal(0.0, 0.15 * v), 0.05, 0.95)),
+                load_frac=float(np.clip(
+                    base.load_frac + rng.normal(0.0, 0.05 * v), 0.05, 0.42)),
+                store_frac=float(np.clip(
+                    base.store_frac + rng.normal(0.0, 0.03 * v), 0.02, 0.25)),
+            ))
+        return tuple(specs)
+
+
+def _int_spec(name: str, **kw: object) -> PhaseSpec:
+    defaults: dict[str, object] = dict(
+        fp_frac=0.02, branch_frac=0.14, load_frac=0.24, store_frac=0.11,
+        ilp_mean=6.0, serial_frac=0.35, footprint_blocks=700,
+        reuse_alpha=1.8, streaming_frac=0.03, code_blocks=220,
+        branch_bias=0.86, loop_branch_frac=0.30,
+        hot_blocks=80, hot_frac=0.5,
+    )
+    defaults.update(kw)
+    return PhaseSpec(name=name, **defaults)  # type: ignore[arg-type]
+
+
+def _fp_spec(name: str, **kw: object) -> PhaseSpec:
+    defaults: dict[str, object] = dict(
+        fp_frac=0.62, branch_frac=0.07, load_frac=0.28, store_frac=0.10,
+        ilp_mean=14.0, serial_frac=0.15, footprint_blocks=3000,
+        reuse_alpha=1.3, streaming_frac=0.20, code_blocks=60,
+        branch_bias=0.96, loop_branch_frac=0.70, loop_trip_mean=24.0,
+        hot_blocks=160, hot_frac=0.3,
+    )
+    defaults.update(kw)
+    return PhaseSpec(name=name, **defaults)  # type: ignore[arg-type]
+
+
+def _build_profiles() -> tuple[BenchmarkProfile, ...]:
+    profiles = [
+        # ---- CINT2000 ----------------------------------------------------
+        BenchmarkProfile("gzip", _int_spec(
+            "gzip", scatter_frac=0.05, footprint_blocks=1600, ilp_mean=7.0, serial_frac=0.40,
+            loop_branch_frac=0.45, code_blocks=90), 0.45, False),
+        BenchmarkProfile("vpr", _int_spec(
+            "vpr", scatter_frac=0.04, footprint_blocks=1200, branch_bias=0.82, ilp_mean=5.0,
+            serial_frac=0.45), 0.40, False),
+        BenchmarkProfile("gcc", _int_spec(
+            "gcc", scatter_frac=0.05, code_blocks=1800, footprint_blocks=2500, branch_bias=0.84,
+            ilp_mean=5.5), 0.65, False),
+        BenchmarkProfile("mcf", _int_spec(
+            "mcf", scatter_frac=0.4, footprint_blocks=60_000, reuse_alpha=0.7, serial_frac=0.65,
+            ilp_mean=2.5, load_frac=0.34, streaming_frac=0.10,
+            branch_bias=0.80), 0.85, False),
+        BenchmarkProfile("crafty", _int_spec(
+            "crafty", scatter_frac=0.02, code_blocks=1100, footprint_blocks=300, reuse_alpha=2.4,
+            branch_bias=0.83, ilp_mean=8.0, branch_frac=0.16), 0.35, False),
+        BenchmarkProfile("parser", _int_spec(
+            "parser", scatter_frac=0.05, footprint_blocks=1500, branch_bias=0.78, serial_frac=0.50,
+            ilp_mean=4.0), 0.50, False),
+        BenchmarkProfile("eon", _int_spec(
+            "eon", scatter_frac=0.02, fp_frac=0.25, footprint_blocks=250, reuse_alpha=2.6,
+            branch_bias=0.93, ilp_mean=9.0, code_blocks=400), 0.12, False),
+        BenchmarkProfile("perlbmk", _int_spec(
+            "perlbmk", scatter_frac=0.04, code_blocks=1400, footprint_blocks=1000,
+            branch_bias=0.87, ilp_mean=6.0), 0.45, False),
+        BenchmarkProfile("gap", _int_spec(
+            "gap", scatter_frac=0.08, footprint_blocks=4000, ilp_mean=10.0, serial_frac=0.25,
+            loop_branch_frac=0.50), 0.60, False),
+        BenchmarkProfile("vortex", _int_spec(
+            "vortex", scatter_frac=0.06, code_blocks=1600, footprint_blocks=2000,
+            branch_bias=0.88, ilp_mean=7.5, load_frac=0.28), 0.70, False),
+        BenchmarkProfile("bzip2", _int_spec(
+            "bzip2", scatter_frac=0.08, footprint_blocks=5000, ilp_mean=6.5, serial_frac=0.38,
+            reuse_alpha=1.4), 0.55, False),
+        BenchmarkProfile("twolf", _int_spec(
+            "twolf", scatter_frac=0.04, footprint_blocks=800, branch_bias=0.80, ilp_mean=4.5,
+            serial_frac=0.48), 0.35, False),
+        # ---- CFP2000 -----------------------------------------------------
+        BenchmarkProfile("wupwise", _fp_spec(
+            "wupwise", scatter_frac=0.05, footprint_blocks=2500, ilp_mean=18.0), 0.35, True),
+        BenchmarkProfile("swim", _fp_spec(
+            "swim", scatter_frac=0.1, footprint_blocks=30_000, streaming_frac=0.55,
+            reuse_alpha=0.9, ilp_mean=22.0, load_frac=0.32), 0.40, True),
+        BenchmarkProfile("mgrid", _fp_spec(
+            "mgrid", scatter_frac=0.06, footprint_blocks=12_000, streaming_frac=0.35,
+            ilp_mean=20.0, loop_trip_mean=40.0), 0.35, True),
+        BenchmarkProfile("applu", _fp_spec(
+            "applu", scatter_frac=0.08, footprint_blocks=16_000, streaming_frac=0.40,
+            ilp_mean=16.0, serial_frac=0.20), 0.45, True),
+        BenchmarkProfile("mesa", _fp_spec(
+            "mesa", scatter_frac=0.03, fp_frac=0.40, footprint_blocks=900, code_blocks=500,
+            branch_frac=0.11, ilp_mean=9.0, streaming_frac=0.08), 0.30, True),
+        BenchmarkProfile("galgel", _fp_spec(
+            "galgel", scatter_frac=0.12, footprint_blocks=6000, ilp_mean=15.0,
+            streaming_frac=0.25, reuse_alpha=1.1), 0.90, True),
+        BenchmarkProfile("art", _fp_spec(
+            "art", scatter_frac=0.22, footprint_blocks=25_000, streaming_frac=0.50,
+            reuse_alpha=0.8, ilp_mean=12.0, load_frac=0.34,
+            serial_frac=0.30), 0.75, True),
+        BenchmarkProfile("equake", _fp_spec(
+            "equake", scatter_frac=0.2, footprint_blocks=20_000, streaming_frac=0.30,
+            reuse_alpha=0.95, ilp_mean=8.0, serial_frac=0.35), 0.75, True),
+        BenchmarkProfile("facerec", _fp_spec(
+            "facerec", scatter_frac=0.08, footprint_blocks=8000, ilp_mean=17.0,
+            streaming_frac=0.28), 0.50, True),
+        BenchmarkProfile("ammp", _fp_spec(
+            "ammp", scatter_frac=0.15, footprint_blocks=9000, ilp_mean=7.0, serial_frac=0.40,
+            reuse_alpha=1.2), 0.55, True),
+        BenchmarkProfile("lucas", _fp_spec(
+            "lucas", scatter_frac=0.04, footprint_blocks=3500, ilp_mean=19.0,
+            streaming_frac=0.22, loop_trip_mean=60.0), 0.10, True),
+        BenchmarkProfile("fma3d", _fp_spec(
+            "fma3d", scatter_frac=0.06, footprint_blocks=7000, code_blocks=700, ilp_mean=11.0,
+            branch_frac=0.09), 0.45, True),
+        BenchmarkProfile("sixtrack", _fp_spec(
+            "sixtrack", scatter_frac=0.03, footprint_blocks=1200, reuse_alpha=1.9, ilp_mean=13.0,
+            streaming_frac=0.10, code_blocks=350), 0.30, True),
+        BenchmarkProfile("apsi", _fp_spec(
+            "apsi", scatter_frac=0.08, footprint_blocks=5000, ilp_mean=12.0,
+            streaming_frac=0.18), 0.50, True),
+    ]
+    return tuple(profiles)
+
+
+_PROFILES = _build_profiles()
+
+#: Benchmark names in canonical (CINT then CFP) order.
+SPEC2000_NAMES: tuple[str, ...] = tuple(p.name for p in _PROFILES)
+
+
+def spec2000_suite(names: tuple[str, ...] | None = None) -> tuple[BenchmarkProfile, ...]:
+    """The 26-benchmark synthetic suite (optionally a named subset)."""
+    if names is None:
+        return _PROFILES
+    by_name = {p.name: p for p in _PROFILES}
+    missing = [n for n in names if n not in by_name]
+    if missing:
+        raise KeyError(f"unknown benchmarks: {missing}")
+    return tuple(by_name[n] for n in names)
+
+
+def build_program(
+    profile: BenchmarkProfile,
+    n_phases: int = 10,
+    n_intervals: int = 100,
+    interval_length: int = 3000,
+    seed: int = 0,
+    mean_segment: float = 10.0,
+) -> Program:
+    """Expand a profile into a runnable phase-structured program."""
+    specs = profile.phase_specs(n_phases, seed=seed)
+    schedule = make_schedule(
+        n_phases=len(specs),
+        n_intervals=n_intervals,
+        mean_segment=mean_segment,
+        seed=stable_hash(profile.name, seed, "schedule"),
+    )
+    return Program(
+        name=profile.name,
+        phase_specs=specs,
+        schedule=tuple(schedule),
+        interval_length=interval_length,
+        seed=seed,
+    )

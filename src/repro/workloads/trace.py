@@ -1,0 +1,127 @@
+"""Dynamic instruction traces.
+
+A :class:`Trace` is the unit of work every timing model consumes: a
+struct-of-arrays record of one dynamic instruction stream (the committed
+path).  Traces carry
+
+* the operation class of every instruction (:class:`~repro.timing.resources.OpClass`);
+* register dependences as *distances* (instruction ``i`` reads the result
+  of instruction ``i - src1[i]``; distance 0 means "no register source");
+* byte addresses for loads and stores;
+* the PC of every instruction (for I-cache and branch-predictor indexing);
+* the taken/not-taken outcome of every branch.
+
+Traces are produced by :mod:`repro.workloads.generator` and are immutable
+once built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timing.resources import OpClass
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One dynamic instruction stream (struct of arrays, equal lengths)."""
+
+    ops: np.ndarray  # uint8 OpClass codes
+    src1: np.ndarray  # int32 dependence distance; 0 = no source
+    src2: np.ndarray  # int32 dependence distance; 0 = no source
+    addr: np.ndarray  # int64 byte address (loads/stores), else 0
+    pc: np.ndarray  # int64 instruction byte address
+    taken: np.ndarray  # bool; meaningful only where ops == BRANCH
+
+    def __post_init__(self) -> None:
+        n = len(self.ops)
+        for field_name in ("src1", "src2", "addr", "pc", "taken"):
+            if len(getattr(self, field_name)) != n:
+                raise ValueError(f"trace field {field_name!r} length mismatch")
+        if n == 0:
+            raise ValueError("trace must contain at least one instruction")
+        if (self.src1 < 0).any() or (self.src2 < 0).any():
+            raise ValueError("dependence distances must be non-negative")
+        for arr in (self.ops, self.src1, self.src2, self.addr, self.pc, self.taken):
+            arr.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def is_load(self) -> np.ndarray:
+        return self.ops == OpClass.LOAD
+
+    @property
+    def is_store(self) -> np.ndarray:
+        return self.ops == OpClass.STORE
+
+    @property
+    def is_mem(self) -> np.ndarray:
+        return (self.ops == OpClass.LOAD) | (self.ops == OpClass.STORE)
+
+    @property
+    def is_branch(self) -> np.ndarray:
+        return self.ops == OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> np.ndarray:
+        return (self.ops == OpClass.FALU) | (self.ops == OpClass.FMUL)
+
+    @property
+    def branch_count(self) -> int:
+        return int(self.is_branch.sum())
+
+    @property
+    def mem_count(self) -> int:
+        return int(self.is_mem.sum())
+
+    def op_mix(self) -> dict[str, float]:
+        """Fraction of instructions in each op class."""
+        n = len(self)
+        return {
+            OpClass.name(code): float((self.ops == code).sum()) / n
+            for code in range(len(OpClass.NAMES))
+        }
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Sub-trace ``[start, stop)``.
+
+        Dependence distances reaching before ``start`` are clipped to 0
+        (treated as ready), matching how a simulator would warm up.
+        """
+        if not 0 <= start < stop <= len(self):
+            raise ValueError(f"bad slice [{start}, {stop}) of trace len {len(self)}")
+        idx = np.arange(stop - start)
+        src1 = self.src1[start:stop].copy()
+        src2 = self.src2[start:stop].copy()
+        src1[src1 > idx] = 0
+        src2[src2 > idx] = 0
+        return Trace(
+            ops=self.ops[start:stop].copy(),
+            src1=src1,
+            src2=src2,
+            addr=self.addr[start:stop].copy(),
+            pc=self.pc[start:stop].copy(),
+            taken=self.taken[start:stop].copy(),
+        )
+
+    @staticmethod
+    def concatenate(traces: list["Trace"]) -> "Trace":
+        """Join traces end to end (dependences do not cross joins)."""
+        if not traces:
+            raise ValueError("need at least one trace")
+        return Trace(
+            ops=np.concatenate([t.ops for t in traces]),
+            src1=np.concatenate([t.src1 for t in traces]),
+            src2=np.concatenate([t.src2 for t in traces]),
+            addr=np.concatenate([t.addr for t in traces]),
+            pc=np.concatenate([t.pc for t in traces]),
+            taken=np.concatenate([t.taken for t in traces]),
+        )

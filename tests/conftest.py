@@ -1,0 +1,81 @@
+"""Shared fixtures: small traces, reference configurations, quick pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KIB, MIB, MicroarchConfig, PROFILING_CONFIG
+from repro.experiments.datastore import DataStore
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.scale import ReproScale
+from repro.workloads import PhaseSpec, TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def baseline_config() -> MicroarchConfig:
+    """A mid-range configuration (close to the paper's Table III)."""
+    return MicroarchConfig(
+        width=4, rob_size=144, iq_size=48, lsq_size=32, rf_size=160,
+        rf_rd_ports=4, rf_wr_ports=2, gshare_size=16 * KIB, btb_size=1 * KIB,
+        branches=24, icache_size=64 * KIB, dcache_size=32 * KIB,
+        l2_size=1 * MIB, depth_fo4=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_config() -> MicroarchConfig:
+    """The minimum corner of the design space."""
+    return MicroarchConfig(
+        width=2, rob_size=32, iq_size=8, lsq_size=8, rf_size=40,
+        rf_rd_ports=2, rf_wr_ports=1, gshare_size=1 * KIB, btb_size=1 * KIB,
+        branches=8, icache_size=8 * KIB, dcache_size=8 * KIB,
+        l2_size=256 * KIB, depth_fo4=36,
+    )
+
+
+@pytest.fixture(scope="session")
+def profiling_config() -> MicroarchConfig:
+    return PROFILING_CONFIG
+
+
+@pytest.fixture(scope="session")
+def int_spec() -> PhaseSpec:
+    """A small integer-benchmark-like phase behaviour."""
+    return PhaseSpec(
+        name="test-int", load_frac=0.24, store_frac=0.10, branch_frac=0.14,
+        ilp_mean=6.0, serial_frac=0.35, footprint_blocks=256,
+        reuse_alpha=1.8, code_blocks=40,
+    )
+
+
+@pytest.fixture(scope="session")
+def fp_spec() -> PhaseSpec:
+    """A small FP-streaming phase behaviour."""
+    return PhaseSpec(
+        name="test-fp", load_frac=0.28, store_frac=0.10, branch_frac=0.07,
+        fp_frac=0.6, ilp_mean=16.0, serial_frac=0.15, footprint_blocks=2048,
+        reuse_alpha=1.1, streaming_frac=0.3, code_blocks=24,
+        loop_branch_frac=0.7, branch_bias=0.95,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(int_spec):
+    """A 1,200-instruction trace (fast for cycle simulation)."""
+    return TraceGenerator(int_spec).generate(1200, stream_seed=7)
+
+
+@pytest.fixture(scope="session")
+def fp_trace(fp_spec):
+    return TraceGenerator(fp_spec).generate(1200, stream_seed=7)
+
+
+@pytest.fixture(scope="session")
+def quick_pipeline(tmp_path_factory) -> ExperimentPipeline:
+    """A miniature end-to-end pipeline (cached across the session).
+
+    Uses the package-level ``.repro_cache`` directory so repeated test
+    runs hit the disk cache.
+    """
+    store = DataStore(".repro_cache/tests")
+    return ExperimentPipeline(ReproScale.quick(), store=store)

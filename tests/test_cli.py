@@ -1,0 +1,28 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_space(self, capsys):
+        assert main(["space"]) == 0
+        out = capsys.readouterr().out
+        assert "627bn" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "swim" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["report", "--experiment", "figure99"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_report_single_table(self, capsys):
+        assert main(["report", "--experiment", "table1"]) == 0
+        assert "design parameters" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for MicroarchConfig and the profiling configuration."""
+
+import pytest
+
+from repro.config import (
+    KIB,
+    MIB,
+    ConfigError,
+    MicroarchConfig,
+    PARAMETER_NAMES,
+    PROFILING_CONFIG,
+    parameter_by_name,
+)
+
+
+class TestConstruction:
+    def test_valid_construction(self, baseline_config):
+        assert baseline_config.width == 4
+        assert baseline_config.l2_size == 1 * MIB
+
+    def test_rejects_illegal_value(self):
+        with pytest.raises(ConfigError):
+            MicroarchConfig(
+                width=3, rob_size=144, iq_size=48, lsq_size=32, rf_size=160,
+                rf_rd_ports=4, rf_wr_ports=2, gshare_size=16 * KIB,
+                btb_size=KIB, branches=24, icache_size=64 * KIB,
+                dcache_size=32 * KIB, l2_size=MIB, depth_fo4=12,
+            )
+
+    def test_frozen(self, baseline_config):
+        with pytest.raises(AttributeError):
+            baseline_config.width = 8
+
+    def test_hashable_and_equal(self, baseline_config):
+        clone = MicroarchConfig.from_dict(baseline_config.as_dict())
+        assert clone == baseline_config
+        assert hash(clone) == hash(baseline_config)
+        assert len({clone, baseline_config}) == 1
+
+
+class TestConversions:
+    def test_dict_roundtrip(self, baseline_config):
+        assert MicroarchConfig.from_dict(
+            baseline_config.as_dict()) == baseline_config
+
+    def test_indices_roundtrip(self, baseline_config):
+        indices = baseline_config.as_indices()
+        assert MicroarchConfig.from_indices(indices) == baseline_config
+
+    def test_as_tuple_order(self, baseline_config):
+        values = baseline_config.as_tuple()
+        assert values[0] == baseline_config.width
+        assert values[-1] == baseline_config.depth_fo4
+        assert len(values) == 14
+
+    def test_from_dict_missing_key(self, baseline_config):
+        values = baseline_config.as_dict()
+        del values["width"]
+        with pytest.raises(ConfigError):
+            MicroarchConfig.from_dict(values)
+
+    def test_from_dict_unknown_key(self, baseline_config):
+        values = baseline_config.as_dict()
+        values["l3_size"] = 1
+        with pytest.raises(ConfigError):
+            MicroarchConfig.from_dict(values)
+
+    def test_from_indices_wrong_length(self):
+        with pytest.raises(ConfigError):
+            MicroarchConfig.from_indices((0, 0))
+
+    def test_from_indices_out_of_range(self, baseline_config):
+        indices = list(baseline_config.as_indices())
+        indices[0] = 99
+        with pytest.raises(ConfigError):
+            MicroarchConfig.from_indices(tuple(indices))
+
+
+class TestManipulation:
+    def test_with_value(self, baseline_config):
+        wider = baseline_config.with_value("width", 8)
+        assert wider.width == 8
+        assert wider.rob_size == baseline_config.rob_size
+        assert baseline_config.width == 4  # original untouched
+
+    def test_with_value_validates(self, baseline_config):
+        with pytest.raises(ConfigError):
+            baseline_config.with_value("width", 5)
+
+    def test_with_value_unknown_parameter(self, baseline_config):
+        with pytest.raises(ConfigError):
+            baseline_config.with_value("l3_size", 1)
+
+    def test_getitem(self, baseline_config):
+        assert baseline_config["width"] == 4
+        with pytest.raises(KeyError):
+            baseline_config["nope"]
+
+    def test_iteration_yields_names(self, baseline_config):
+        assert tuple(baseline_config) == PARAMETER_NAMES
+
+    def test_describe_mentions_key_values(self, baseline_config):
+        text = baseline_config.describe()
+        assert "W4" in text and "ROB144" in text and "L21M" in text
+
+
+class TestProfilingConfig:
+    def test_structures_are_maximal(self):
+        for name in ("rob_size", "iq_size", "lsq_size", "rf_size",
+                     "rf_rd_ports", "rf_wr_ports", "gshare_size",
+                     "btb_size", "branches", "icache_size", "dcache_size",
+                     "l2_size", "width"):
+            parameter = parameter_by_name(name)
+            assert PROFILING_CONFIG[name] == parameter.maximum, name
+
+    def test_depth_is_legal(self):
+        assert parameter_by_name("depth_fo4").contains(
+            PROFILING_CONFIG.depth_fo4)

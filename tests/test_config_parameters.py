@@ -1,0 +1,111 @@
+"""Tests for the Table I parameter definitions."""
+
+import pytest
+
+from repro.config import (
+    KIB,
+    MIB,
+    PARAMETER_NAMES,
+    TABLE1_PARAMETERS,
+    Parameter,
+    design_space_size,
+    parameter_by_name,
+)
+
+
+class TestTable1Definitions:
+    def test_fourteen_parameters(self):
+        assert len(TABLE1_PARAMETERS) == 14
+
+    def test_design_space_size_matches_paper(self):
+        # Table I: "Total ... 627bn".
+        assert design_space_size() == 626_688_000_000
+
+    def test_cardinalities_match_table1(self):
+        expected = {
+            "width": 4, "rob_size": 17, "iq_size": 10, "lsq_size": 10,
+            "rf_size": 16, "rf_rd_ports": 8, "rf_wr_ports": 8,
+            "gshare_size": 6, "btb_size": 3, "branches": 4,
+            "icache_size": 5, "dcache_size": 5, "l2_size": 5,
+            "depth_fo4": 10,
+        }
+        for parameter in TABLE1_PARAMETERS:
+            assert parameter.cardinality == expected[parameter.name]
+
+    def test_width_values(self):
+        assert parameter_by_name("width").values == (2, 4, 6, 8)
+
+    def test_rob_range(self):
+        rob = parameter_by_name("rob_size")
+        assert rob.minimum == 32 and rob.maximum == 160
+        assert rob.values[1] - rob.values[0] == 8
+
+    def test_gshare_geometric(self):
+        gshare = parameter_by_name("gshare_size")
+        assert gshare.values == (KIB, 2 * KIB, 4 * KIB, 8 * KIB,
+                                 16 * KIB, 32 * KIB)
+
+    def test_l2_range(self):
+        l2 = parameter_by_name("l2_size")
+        assert l2.minimum == 256 * KIB and l2.maximum == 4 * MIB
+
+    def test_depth_values(self):
+        assert parameter_by_name("depth_fo4").values == tuple(range(9, 37, 3))
+
+    def test_names_are_ordered(self):
+        assert PARAMETER_NAMES[0] == "width"
+        assert PARAMETER_NAMES[-1] == "depth_fo4"
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(KeyError):
+            parameter_by_name("l3_size")
+
+
+class TestParameterBehaviour:
+    def test_index_of_roundtrip(self):
+        for parameter in TABLE1_PARAMETERS:
+            for i, value in enumerate(parameter.values):
+                assert parameter.index_of(value) == i
+
+    def test_index_of_rejects_illegal(self):
+        with pytest.raises(ValueError):
+            parameter_by_name("width").index_of(5)
+
+    def test_contains(self):
+        width = parameter_by_name("width")
+        assert width.contains(4)
+        assert not width.contains(3)
+
+    def test_clip_snaps_to_nearest(self):
+        rob = parameter_by_name("rob_size")
+        assert rob.clip(33) == 32
+        assert rob.clip(37) == 40
+        assert rob.clip(1000) == 160
+        assert rob.clip(0) == 32
+
+    def test_clip_tie_resolves_downward(self):
+        rob = parameter_by_name("rob_size")
+        assert rob.clip(36) == 32  # equidistant between 32 and 40
+
+    def test_neighbours_interior(self):
+        iq = parameter_by_name("iq_size")
+        assert iq.neighbours(40) == (32, 48)
+
+    def test_neighbours_edges(self):
+        iq = parameter_by_name("iq_size")
+        assert iq.neighbours(8) == (16,)
+        assert iq.neighbours(80) == (72,)
+
+    def test_parameter_requires_two_values(self):
+        with pytest.raises(ValueError):
+            Parameter("solo", (1,))
+
+    def test_parameter_requires_sorted_unique(self):
+        with pytest.raises(ValueError):
+            Parameter("bad", (2, 1))
+        with pytest.raises(ValueError):
+            Parameter("dup", (1, 1, 2))
+
+    def test_custom_space_size(self):
+        params = [Parameter("a", (1, 2)), Parameter("b", (1, 2, 3))]
+        assert design_space_size(params) == 6

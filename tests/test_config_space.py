@@ -1,0 +1,131 @@
+"""Tests for DesignSpace sampling and the section V-C protocol moves."""
+
+import pytest
+
+from repro.config import DesignSpace, MicroarchConfig, TABLE1_PARAMETERS
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(seed=42)
+
+
+class TestRandomSampling:
+    def test_sample_size(self, space):
+        assert len(space.random_sample(50)) == 50
+
+    def test_samples_are_valid_configs(self, space):
+        for config in space.random_sample(20):
+            assert isinstance(config, MicroarchConfig)
+
+    def test_samples_unique_by_default(self, space):
+        sample = space.random_sample(100)
+        assert len(set(sample)) == 100
+
+    def test_deterministic_given_seed(self):
+        a = DesignSpace(seed=7).random_sample(10)
+        b = DesignSpace(seed=7).random_sample(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = DesignSpace(seed=1).random_sample(10)
+        b = DesignSpace(seed=2).random_sample(10)
+        assert a != b
+
+    def test_zero_count(self, space):
+        assert space.random_sample(0) == []
+
+    def test_negative_count_raises(self, space):
+        with pytest.raises(ValueError):
+            space.random_sample(-1)
+
+    def test_size_property(self, space):
+        assert space.size == 626_688_000_000
+
+
+class TestNeighbours:
+    def test_neighbours_differ_from_centre(self, space):
+        centre = space.random_configuration()
+        for neighbour in space.random_neighbours(centre, 20):
+            assert neighbour != centre
+
+    def test_neighbours_are_local(self, space):
+        """Every changed parameter moved by exactly one step."""
+        centre = space.random_configuration()
+        for neighbour in space.random_neighbours(centre, 30):
+            for parameter in TABLE1_PARAMETERS:
+                old = centre[parameter.name]
+                new = neighbour[parameter.name]
+                if old != new:
+                    assert new in parameter.neighbours(old)
+
+    def test_neighbours_unique(self, space):
+        centre = space.random_configuration()
+        neighbours = space.random_neighbours(centre, 50)
+        assert len(set(neighbours)) == len(neighbours)
+
+    def test_invalid_mutation_rate(self, space):
+        centre = space.random_configuration()
+        with pytest.raises(ValueError):
+            space.random_neighbours(centre, 5, mutation_rate=0.0)
+        with pytest.raises(ValueError):
+            space.random_neighbours(centre, 5, mutation_rate=1.5)
+
+
+class TestOneAtATime:
+    def test_count_matches_table1(self, space):
+        """sum(cardinality - 1) = 97 configurations for Table I."""
+        centre = space.random_configuration()
+        sweeps = space.one_at_a_time(centre)
+        assert len(sweeps) == sum(p.cardinality - 1 for p in TABLE1_PARAMETERS)
+        assert len(sweeps) == 97
+
+    def test_each_differs_in_exactly_one_parameter(self, space):
+        centre = space.random_configuration()
+        for config in space.one_at_a_time(centre):
+            diffs = [n for n in centre if centre[n] != config[n]]
+            assert len(diffs) == 1
+
+    def test_axis_sweep_covers_all_values(self, space, baseline_config):
+        sweep = space.axis_sweep(baseline_config, "width")
+        assert sorted(c.width for c in sweep) == [2, 4, 6, 8]
+
+    def test_axis_sweep_unknown_axis(self, space, baseline_config):
+        with pytest.raises(KeyError):
+            space.axis_sweep(baseline_config, "nope")
+
+
+class TestSearchHelpers:
+    def test_best_of(self, space):
+        configs = space.random_sample(10)
+        best, value = space.best_of(configs, lambda c: float(c.rob_size))
+        assert value == max(c.rob_size for c in configs)
+        assert best.rob_size == value
+
+    def test_best_of_empty_raises(self, space):
+        with pytest.raises(ValueError):
+            space.best_of([], lambda c: 0.0)
+
+    def test_training_protocol_returns_new_configs(self, space):
+        pool = space.random_sample(12)
+        extra = space.training_protocol(
+            pool, lambda c: float(c.iq_size), neighbour_count=10
+        )
+        assert extra  # neighbours + sweeps
+        assert not set(extra) & set(pool)
+
+    def test_training_protocol_empty_pool_raises(self, space):
+        with pytest.raises(ValueError):
+            space.training_protocol([], lambda c: 0.0)
+
+    def test_paper_protocol_total(self):
+        """1000 random + 200 neighbours + one-at-a-time ~= 1,298 sims."""
+        space = DesignSpace(seed=3)
+        pool = space.random_sample(1000)
+        extra = space.training_protocol(
+            pool, lambda c: float(c.rob_size + c.iq_size),
+            neighbour_count=200,
+        )
+        total = len(pool) + len(extra)
+        # 97 sweeps can overlap previous points, hence <=.
+        assert 1200 < total <= 1297 + 1

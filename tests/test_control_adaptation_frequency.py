@@ -1,0 +1,74 @@
+"""Tests for the section X per-structure adaptation-frequency analysis."""
+
+import pytest
+
+from repro.control import analyze_adaptation_frequencies
+from repro.workloads import PhaseSpec, Program
+
+
+@pytest.fixture(scope="module")
+def varied_program():
+    specs = (
+        PhaseSpec(name="af-compute", code_blocks=30, footprint_blocks=64,
+                  ilp_mean=20.0, serial_frac=0.1),
+        PhaseSpec(name="af-memory", code_blocks=30, footprint_blocks=30_000,
+                  scatter_frac=0.4, load_frac=0.32, ilp_mean=3.0,
+                  serial_frac=0.6),
+    )
+    return Program(name="af", phase_specs=specs,
+                   schedule=(0, 1) * 4, interval_length=3000, seed=5)
+
+
+class TestAdaptationFrequencies:
+    def test_covers_all_parameters(self, varied_program, baseline_config):
+        analysis = analyze_adaptation_frequencies(
+            varied_program, baseline_config, max_intervals=6)
+        assert len(analysis.structures) == 14
+
+    def test_rates_bounded(self, varied_program, baseline_config):
+        analysis = analyze_adaptation_frequencies(
+            varied_program, baseline_config, max_intervals=6)
+        for churn in analysis.structures.values():
+            assert 0.0 <= churn.change_rate <= 1.0
+            assert churn.recommended_interval >= 1
+            assert churn.reconfig_cycles > 0
+
+    def test_alternating_phases_cause_churn(self, varied_program,
+                                            baseline_config):
+        """Compute/memory alternation must move some structure's optimum."""
+        analysis = analyze_adaptation_frequencies(
+            varied_program, baseline_config, max_intervals=8)
+        assert any(c.change_rate > 0.3
+                   for c in analysis.structures.values())
+
+    def test_stable_program_recommends_rare_adaptation(self, baseline_config):
+        spec = PhaseSpec(name="af-stable", code_blocks=30,
+                         footprint_blocks=256)
+        program = Program(name="stable", phase_specs=(spec,),
+                          schedule=(0,) * 8, interval_length=3000, seed=6)
+        analysis = analyze_adaptation_frequencies(program, baseline_config,
+                                                  max_intervals=6)
+        rates = [c.change_rate for c in analysis.structures.values()]
+        assert sum(rates) / len(rates) < 0.4
+
+    def test_expensive_structures_stretched(self, varied_program,
+                                            baseline_config):
+        """At equal churn, the L2 is recommended a longer interval than a
+        cheap structure would be."""
+        analysis = analyze_adaptation_frequencies(
+            varied_program, baseline_config, max_intervals=6)
+        l2 = analysis.structures["l2_size"]
+        iq = analysis.structures["iq_size"]
+        if abs(l2.change_rate - iq.change_rate) < 1e-9 and l2.change_rate:
+            assert l2.recommended_interval >= iq.recommended_interval
+
+    def test_render(self, varied_program, baseline_config):
+        analysis = analyze_adaptation_frequencies(
+            varied_program, baseline_config, max_intervals=4)
+        text = analysis.render()
+        assert "l2_size" in text and "change rate" in text
+
+    def test_validation(self, varied_program, baseline_config):
+        with pytest.raises(ValueError):
+            analyze_adaptation_frequencies(varied_program, baseline_config,
+                                           max_intervals=1)

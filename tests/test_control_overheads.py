@@ -1,0 +1,58 @@
+"""Tests for the Table IV / figure 9 overhead experiments."""
+
+import pytest
+
+from repro.control import plan_set_sampling, sampling_energy_overheads
+from repro.workloads import PhaseSpec, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def traces():
+    specs = [
+        PhaseSpec(name="ov-int", footprint_blocks=256, code_blocks=40),
+        PhaseSpec(name="ov-mem", footprint_blocks=20_000, scatter_frac=0.3,
+                  load_frac=0.3, code_blocks=40),
+    ]
+    return [TraceGenerator(s).generate(2000) for s in specs]
+
+
+class TestPlan:
+    def test_covers_all_cache_feature_pairs(self, traces):
+        plan = plan_set_sampling(traces, fidelity_threshold=0.85)
+        assert set(plan.sampled_sets) == {
+            (cache, feature)
+            for cache in ("icache", "dcache", "l2")
+            for feature in ("set_reuse", "block_reuse")
+        }
+
+    def test_counts_are_positive_powers_of_two(self, traces):
+        plan = plan_set_sampling(traces, fidelity_threshold=0.85)
+        for count in plan.sampled_sets.values():
+            assert count >= 1
+            assert count & (count - 1) == 0
+
+    def test_sampling_is_a_saving(self, traces):
+        """Far fewer sets than the full cache (the point of Table IV)."""
+        plan = plan_set_sampling(traces, fidelity_threshold=0.85)
+        # Profiling L2 (4MB, assoc 8) has 8192 sets.
+        assert plan.get("l2", "set_reuse") < 8192
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            plan_set_sampling([])
+
+
+class TestEnergyOverheads:
+    def test_overheads_for_every_pair(self, traces):
+        plan = plan_set_sampling(traces, fidelity_threshold=0.85)
+        overheads = sampling_energy_overheads(plan)
+        assert set(overheads) == set(plan.sampled_sets)
+
+    def test_magnitudes_match_paper(self, traces):
+        """Paper figure 9: max 1.55% dynamic, 1.4% leakage — ours should
+        be within an order of magnitude and well under 10%."""
+        plan = plan_set_sampling(traces, fidelity_threshold=0.85)
+        overheads = sampling_energy_overheads(plan)
+        for result in overheads.values():
+            assert 0.0 < result.dynamic_frac < 0.10
+            assert 0.0 < result.leakage_frac < 0.10

@@ -1,0 +1,89 @@
+"""Tests for the reconfiguration cost model (Table V)."""
+
+import pytest
+
+from repro.config import PROFILING_CONFIG
+from repro.control import ReconfigurationModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ReconfigurationModel()
+
+
+class TestCost:
+    def test_identity_transition_free(self, model, baseline_config):
+        cost = model.cost(baseline_config, baseline_config)
+        assert cost.stall_cycles == 0
+        assert cost.energy_pj == 0.0
+        assert not cost.per_structure_cycles
+
+    def test_single_parameter_touches_one_structure(self, model,
+                                                    baseline_config):
+        target = baseline_config.with_value("iq_size", 80)
+        cost = model.cost(baseline_config, target)
+        assert set(cost.per_structure_cycles) == {"iq"}
+        assert cost.stall_cycles > 0
+        assert cost.energy_pj > 0
+
+    def test_bigger_delta_costs_more(self, model, baseline_config):
+        small = model.cost(baseline_config,
+                           baseline_config.with_value("l2_size", 2 * 2**20))
+        large = model.cost(baseline_config,
+                           baseline_config.with_value("l2_size", 4 * 2**20))
+        assert large.stall_cycles >= small.stall_cycles
+        assert large.energy_pj > small.energy_pj
+
+    def test_l2_dominates(self, model, baseline_config):
+        """Paper Table V: the L2 is by far the slowest to reconfigure."""
+        cost = model.cost(
+            baseline_config,
+            baseline_config.with_value("l2_size", 4 * 2**20)
+            .with_value("gshare_size", 32 * 1024)
+            .with_value("iq_size", 80),
+        )
+        assert cost.per_structure_cycles["l2"] > \
+            20 * cost.per_structure_cycles["gshare"]
+        assert cost.per_structure_cycles["l2"] > \
+            5 * cost.per_structure_cycles["iq"]
+
+    def test_parallel_stall_is_max(self, model, baseline_config):
+        target = (baseline_config.with_value("l2_size", 4 * 2**20)
+                  .with_value("iq_size", 80))
+        cost = model.cost(baseline_config, target)
+        assert cost.stall_cycles == max(cost.per_structure_cycles.values())
+
+    def test_cache_resizes_flush(self, model, baseline_config):
+        cost = model.cost(baseline_config,
+                          baseline_config.with_value("dcache_size", 8 * 1024))
+        assert "dcache" in cost.flushed_caches
+
+    def test_port_changes_touch_rf(self, model, baseline_config):
+        cost = model.cost(baseline_config,
+                          baseline_config.with_value("rf_rd_ports", 16))
+        assert "rf" in cost.per_structure_cycles
+
+    def test_symmetric_magnitude(self, model, baseline_config):
+        """Shrinking and growing move the same transistor count."""
+        grow = model.cost(baseline_config,
+                          baseline_config.with_value("rob_size", 160))
+        shrink = model.cost(baseline_config.with_value("rob_size", 160),
+                            baseline_config)
+        assert grow.energy_pj == pytest.approx(shrink.energy_pj)
+
+
+class TestTable5:
+    def test_covers_all_structures(self, model):
+        rows = model.table5(PROFILING_CONFIG)
+        for structure in ("rob", "iq", "lsq", "rf", "gshare", "btb",
+                          "icache", "dcache", "l2", "width"):
+            assert structure in rows
+            assert rows[structure] > 0
+
+    def test_paper_ordering(self, model, baseline_config):
+        """Predictor fastest, L2 slowest, caches in between."""
+        rows = model.table5(baseline_config)
+        assert rows["gshare"] < rows["rob"] <= rows["l2"]
+        assert rows["btb"] < rows["l2"]
+        assert rows["l2"] == max(rows.values())
+        assert rows["l2"] > 1000  # thousands of cycles, like Table V

@@ -1,0 +1,96 @@
+"""Tests for Table II counter collection on the profiling configuration."""
+
+import pytest
+
+from repro.counters import collect_counters
+from repro.workloads import PhaseSpec, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def counters():
+    spec = PhaseSpec(name="coll-int", load_frac=0.24, store_frac=0.10,
+                     branch_frac=0.14, ilp_mean=6.0, serial_frac=0.35,
+                     footprint_blocks=256, reuse_alpha=1.6, code_blocks=40)
+    generator = TraceGenerator(spec)
+    return collect_counters(
+        generator.generate(1500, stream_seed=1),
+        warm_trace=generator.generate(1500, stream_seed=2),
+    )
+
+
+class TestOccupancyHistograms:
+    def test_histograms_cover_all_cycles(self, counters):
+        for name in ("alu_usage", "mem_port_usage", "rob_usage", "iq_usage",
+                     "lsq_usage", "int_reg_usage", "fp_reg_usage",
+                     "rd_port_usage", "wr_port_usage"):
+            histogram = getattr(counters, name)
+            assert histogram.total == counters.cycles, name
+
+    def test_queue_usage_consistent_with_averages(self, counters):
+        # The histogram mean should be close to the accumulated average.
+        assert counters.lsq_usage.mean() == pytest.approx(
+            counters.avg_lsq_occupancy, rel=0.35, abs=4.0)
+        assert counters.rob_usage.mean() == pytest.approx(
+            counters.avg_rob_occupancy, rel=0.35, abs=12.0)
+
+    def test_speculative_fractions_bounded(self, counters):
+        for name in ("rob", "iq", "lsq"):
+            value = getattr(counters, f"{name}_speculative_frac")
+            assert 0.0 <= value <= 1.0
+
+    def test_misspeculated_fractions_bounded(self, counters):
+        for name in ("rob", "iq", "lsq"):
+            value = getattr(counters, f"{name}_misspeculated_frac")
+            assert 0.0 <= value < 1.0
+
+    def test_profiling_config_sees_speculation(self, counters):
+        # Max-speculation profiling keeps queues mostly speculative.
+        assert counters.rob_speculative_frac > 0.3
+
+
+class TestCacheCounters:
+    def test_all_three_caches_present(self, counters):
+        for cache in (counters.icache, counters.dcache, counters.l2):
+            assert cache.accesses >= 0
+            assert 0.0 <= cache.miss_rate <= 1.0
+
+    def test_four_distance_histograms(self, counters):
+        for cache in (counters.icache, counters.dcache, counters.l2):
+            for name in ("stack_distance", "block_reuse", "set_reuse",
+                         "reduced_set_reuse"):
+                histogram = getattr(cache, name)
+                assert histogram.total > 0, name
+
+    def test_reduced_set_reuse_warms_more_sets(self, counters):
+        """Mapping onto the smallest cache's (fewer) sets leaves fewer
+        cold first-touches: every reduced set aggregates several full
+        sets."""
+        full = counters.dcache.set_reuse
+        reduced = counters.dcache.reduced_set_reuse
+        assert reduced.cold <= full.cold
+        assert reduced.total == full.total
+
+    def test_small_footprint_short_stack_distances(self, counters):
+        histogram = counters.dcache.stack_distance
+        # Footprint of 256 blocks: nothing beyond distance 256.
+        beyond = histogram.normalized()[10:].sum()  # bins > 512
+        assert beyond < 0.05
+
+
+class TestScalarsAndBasics:
+    def test_cpi_matches_cycles(self, counters):
+        assert counters.cpi == pytest.approx(
+            counters.cycles / counters.instructions)
+        assert counters.ipc == pytest.approx(1.0 / counters.cpi)
+
+    def test_mispredict_rate_bounded(self, counters):
+        assert 0.0 <= counters.mispredict_rate < 0.6
+
+    def test_basic_counter_set_populated(self, counters):
+        assert counters.alu_ops > 0
+        assert counters.dcache_accesses > 0
+        assert counters.bpred_accesses > 0
+        assert counters.avg_rob_occupancy > 0
+
+    def test_btb_reuse_histogram(self, counters):
+        assert counters.btb_reuse.total > 0

@@ -1,0 +1,96 @@
+"""Tests for feature extraction (basic and advanced sets)."""
+
+import numpy as np
+import pytest
+
+from repro.counters import (
+    AdvancedFeatureExtractor,
+    BasicFeatureExtractor,
+    collect_counters,
+)
+from repro.workloads import PhaseSpec, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def counters_pair():
+    int_spec = PhaseSpec(name="feat-int", footprint_blocks=128,
+                         reuse_alpha=2.2, ilp_mean=5.0, code_blocks=30)
+    mem_spec = PhaseSpec(name="feat-mem", footprint_blocks=30_000,
+                         scatter_frac=0.4, load_frac=0.32, reuse_alpha=0.8,
+                         ilp_mean=4.0, code_blocks=30)
+    return (
+        collect_counters(TraceGenerator(int_spec).generate(1500)),
+        collect_counters(TraceGenerator(mem_spec).generate(1500)),
+    )
+
+
+class TestBasicExtractor:
+    def test_dimension_matches_names(self, counters_pair):
+        extractor = BasicFeatureExtractor()
+        x = extractor.extract(counters_pair[0])
+        assert len(x) == extractor.dimension
+        assert len(x) == len(extractor.feature_names()) + 1
+
+    def test_trailing_bias(self, counters_pair):
+        x = BasicFeatureExtractor().extract(counters_pair[0])
+        assert x[-1] == 1.0
+
+    def test_finite_and_bounded(self, counters_pair):
+        for counters in counters_pair:
+            x = BasicFeatureExtractor().extract(counters)
+            assert np.isfinite(x).all()
+            assert (np.abs(x) <= 4.0).all()
+
+    def test_distinguishes_phases(self, counters_pair):
+        a = BasicFeatureExtractor().extract(counters_pair[0])
+        b = BasicFeatureExtractor().extract(counters_pair[1])
+        assert not np.allclose(a, b)
+
+
+class TestAdvancedExtractor:
+    def test_dimension_matches_names(self, counters_pair):
+        extractor = AdvancedFeatureExtractor()
+        x = extractor.extract(counters_pair[0])
+        assert len(x) == extractor.dimension
+        assert len(x) == len(extractor.feature_names()) + 1
+
+    def test_richer_than_basic(self):
+        assert AdvancedFeatureExtractor().dimension > \
+            5 * BasicFeatureExtractor().dimension
+
+    def test_finite_and_bounded(self, counters_pair):
+        for counters in counters_pair:
+            x = AdvancedFeatureExtractor().extract(counters)
+            assert np.isfinite(x).all()
+            assert (np.abs(x) <= 4.0).all()
+
+    def test_memory_phase_has_deeper_stack_features(self, counters_pair):
+        """The stack-distance histogram features separate small and large
+        footprints — the signal behind cache-size prediction."""
+        extractor = AdvancedFeatureExtractor()
+        names = extractor.feature_names()
+        a = extractor.extract(counters_pair[0])
+        b = extractor.extract(counters_pair[1])
+        deep_bins = [i for i, n in enumerate(names)
+                     if n.startswith("dcache.stack_distance[")
+                     and (n.endswith("[cold]")
+                          or int(n.split("[")[1][:-1]) >= 5)]
+        assert sum(b[i] for i in deep_bins) > sum(a[i] for i in deep_bins)
+
+    def test_histogram_blocks_are_cumulative_tails(self, counters_pair):
+        """Histogram features are monotone non-increasing upper tails
+        starting at <= 1 (the whole warm mass)."""
+        extractor = AdvancedFeatureExtractor()
+        names = extractor.feature_names()
+        x = extractor.extract(counters_pair[0])
+        prefixes = {n.rsplit("[", 1)[0] for n in names if "[" in n}
+        for prefix in prefixes:
+            bins = [x[i] for i, n in enumerate(names)
+                    if n.startswith(prefix + "[") and not n.endswith("[cold]")]
+            assert bins[0] <= 1.0 + 1e-9
+            assert all(a >= b - 1e-12 for a, b in zip(bins, bins[1:])), prefix
+
+    def test_deterministic(self, counters_pair):
+        extractor = AdvancedFeatureExtractor()
+        assert np.array_equal(extractor.extract(counters_pair[0]),
+                              extractor.extract(counters_pair[0]))

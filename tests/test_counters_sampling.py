@@ -1,0 +1,107 @@
+"""Tests for dynamic set sampling and its overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.counters import (
+    histogram_fidelity,
+    minimum_sampled_sets,
+    monitoring_overheads,
+    sampled_histogram,
+)
+from repro.counters.sampling import full_histogram
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 4096, size=8000)
+
+
+class TestSampledHistogram:
+    def test_all_sets_equals_full(self, blocks):
+        full = full_histogram(blocks, 256, "set_reuse")
+        sampled = sampled_histogram(blocks, 256, 256, "set_reuse")
+        assert histogram_fidelity(full, sampled) == pytest.approx(1.0)
+
+    def test_block_reuse_all_sets_equals_full(self, blocks):
+        full = full_histogram(blocks, 256, "block_reuse")
+        sampled = sampled_histogram(blocks, 256, 256, "block_reuse")
+        assert histogram_fidelity(full, sampled) == pytest.approx(1.0)
+
+    def test_sampling_reduces_events(self, blocks):
+        full = full_histogram(blocks, 256, "set_reuse")
+        sampled = sampled_histogram(blocks, 256, 16, "set_reuse")
+        assert 0 < sampled.total < full.total
+
+    def test_uniform_stream_samples_faithfully(self, blocks):
+        full = full_histogram(blocks, 256, "set_reuse")
+        sampled = sampled_histogram(blocks, 256, 16, "set_reuse")
+        assert histogram_fidelity(full, sampled) > 0.85
+
+    def test_unknown_feature_rejected(self, blocks):
+        with pytest.raises(ValueError):
+            sampled_histogram(blocks, 256, 8, "stack")
+        with pytest.raises(ValueError):
+            full_histogram(blocks, 256, "stack")
+
+    def test_sample_bounds(self, blocks):
+        with pytest.raises(ValueError):
+            sampled_histogram(blocks, 256, 0, "set_reuse")
+        with pytest.raises(ValueError):
+            sampled_histogram(blocks, 256, 512, "set_reuse")
+
+
+class TestFidelityAndMinimumSets:
+    def test_fidelity_identity(self, blocks):
+        full = full_histogram(blocks, 128, "set_reuse")
+        assert histogram_fidelity(full, full) == pytest.approx(1.0)
+
+    def test_fidelity_requires_same_binning(self, blocks):
+        from repro.counters import TemporalHistogram
+        a = TemporalHistogram.log2(64)
+        b = TemporalHistogram.log2(128)
+        with pytest.raises(ValueError):
+            histogram_fidelity(a, b)
+
+    def test_minimum_sets_is_power_of_two(self, blocks):
+        sets = minimum_sampled_sets(blocks, 256, "set_reuse",
+                                    fidelity_threshold=0.85)
+        assert sets & (sets - 1) == 0
+
+    def test_stricter_threshold_needs_more_sets(self, blocks):
+        loose = minimum_sampled_sets(blocks, 256, "set_reuse", 0.7)
+        strict = minimum_sampled_sets(blocks, 256, "set_reuse", 0.97)
+        assert strict >= loose
+
+    def test_uniform_stream_needs_few_sets(self, blocks):
+        sets = minimum_sampled_sets(blocks, 256, "set_reuse", 0.85)
+        assert sets <= 64
+
+
+class TestMonitoringOverheads:
+    def test_overheads_small(self):
+        """Paper figure 9: at most ~1.6% dynamic, ~1.4% leakage."""
+        result = monitoring_overheads(32 * 1024, 4, 16, "block_reuse")
+        assert 0.0 < result.dynamic_frac < 0.2
+        assert 0.0 < result.leakage_frac < 0.2
+
+    def test_more_sampled_sets_cost_more(self):
+        few = monitoring_overheads(32 * 1024, 4, 4, "block_reuse")
+        many = monitoring_overheads(32 * 1024, 4, 64, "block_reuse")
+        assert many.dynamic_frac > few.dynamic_frac
+        assert many.leakage_frac > few.leakage_frac
+
+    def test_set_monitor_cheaper_than_block(self):
+        block = monitoring_overheads(32 * 1024, 4, 16, "block_reuse")
+        set_ = monitoring_overheads(32 * 1024, 4, 16, "set_reuse")
+        assert set_.monitor_bits < block.monitor_bits
+
+    def test_bigger_cache_smaller_relative_overhead(self):
+        small = monitoring_overheads(8 * 1024, 4, 16, "block_reuse")
+        large = monitoring_overheads(4 * 1024 * 1024, 8, 16, "block_reuse")
+        assert large.leakage_frac < small.leakage_frac
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            monitoring_overheads(32 * 1024, 4, 16, "stack")

@@ -1,0 +1,85 @@
+"""Tests for baseline selection."""
+
+import pytest
+
+from repro.config import DesignSpace
+from repro.experiments import (
+    best_static_config,
+    best_static_per_program,
+    geomean,
+    oracle_configs,
+)
+from repro.power.metrics import EfficiencyResult
+
+
+def fake_result(efficiency: float) -> EfficiencyResult:
+    # efficiency = ips^3/W; craft a result with the desired value.
+    time_ns = 1000.0
+    instructions = 1000
+    ips = instructions / (time_ns * 1e-9)
+    watts = ips**3 / efficiency
+    energy_pj = watts * time_ns * 1e3
+    return EfficiencyResult(instructions=instructions, cycles=500,
+                            time_ns=time_ns, energy_pj=energy_pj)
+
+
+@pytest.fixture
+def setup():
+    space = DesignSpace(seed=0)
+    pool = space.random_sample(4)
+    # Config 0 is great on program a, config 1 on program b, config 2 is a
+    # decent compromise, config 3 is bad everywhere.
+    table = {
+        ("a", 0): [9.0, 2.0, 5.0, 1.0],
+        ("a", 1): [8.0, 2.0, 5.0, 1.0],
+        ("b", 0): [2.0, 9.0, 5.0, 1.0],
+        ("b", 1): [2.0, 8.0, 5.0, 1.0],
+    }
+    evaluations = {
+        key: {pool[i]: fake_result(row[i]) for i in range(4)}
+        for key, row in table.items()
+    }
+    return pool, evaluations
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestBaselines:
+    def test_best_static_is_compromise(self, setup):
+        pool, evaluations = setup
+        assert best_static_config(pool, evaluations) == pool[2]
+
+    def test_per_program_specialises(self, setup):
+        pool, evaluations = setup
+        statics = best_static_per_program(pool, evaluations)
+        assert statics["a"] == pool[0]
+        assert statics["b"] == pool[1]
+
+    def test_oracle_picks_per_phase_best(self, setup):
+        pool, evaluations = setup
+        oracle = oracle_configs(evaluations)
+        assert oracle[("a", 0)] == pool[0]
+        assert oracle[("b", 1)] == pool[1]
+
+    def test_oracle_dominates_statics(self, setup):
+        """Oracle efficiency >= any static, per phase."""
+        pool, evaluations = setup
+        oracle = oracle_configs(evaluations)
+        static = best_static_config(pool, evaluations)
+        for key, per_phase in evaluations.items():
+            assert per_phase[oracle[key]].efficiency >= \
+                per_phase[static].efficiency
+
+    def test_empty_rejected(self, setup):
+        pool, _ = setup
+        with pytest.raises(ValueError):
+            best_static_config(pool, {})

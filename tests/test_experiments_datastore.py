@@ -1,0 +1,68 @@
+"""Tests for the disk-backed result cache."""
+
+import pytest
+
+from repro.experiments import DataStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DataStore(tmp_path / "cache")
+
+
+class TestDataStore:
+    def test_roundtrip(self, store):
+        store.put("key", {"a": 1})
+        assert store.get("key") == {"a": 1}
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_contains(self, store):
+        assert not store.contains("k")
+        store.put("k", 1)
+        assert store.contains("k")
+
+    def test_get_or_compute_computes_once(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert store.get_or_compute("k", compute) == 42
+        assert store.get_or_compute("k", compute) == 42
+        assert len(calls) == 1
+        assert store.hits == 1 and store.misses == 1
+
+    def test_complex_values(self, store):
+        import numpy as np
+        from repro.config import DesignSpace
+        config = DesignSpace(seed=0).random_configuration()
+        store.put("config", {config: np.arange(5)})
+        loaded = store.get("config")
+        assert config in loaded
+        assert (loaded[config] == np.arange(5)).all()
+
+    def test_overwrite(self, store):
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_clear(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.clear() == 2
+        assert not store.contains("a")
+
+    def test_distinct_keys_do_not_collide(self, store):
+        store.put("key-1", 1)
+        store.put("key-2", 2)
+        assert store.get("key-1") == 1
+        assert store.get("key-2") == 2
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        DataStore(target)
+        assert target.is_dir()

@@ -1,0 +1,110 @@
+"""Tests for the end-to-end experiment pipeline (quick scale)."""
+
+import pytest
+
+from repro.config import MicroarchConfig
+from repro.experiments import ReproScale
+
+
+class TestScale:
+    def test_default_is_full_suite(self):
+        scale = ReproScale.default()
+        assert scale.benchmarks is None
+        assert scale.n_phases == 10
+
+    def test_quick_is_small(self):
+        scale = ReproScale.quick()
+        assert len(scale.benchmarks) < 10
+        assert scale.phase_trace_length < 10_000
+
+    def test_paper_matches_protocol(self):
+        scale = ReproScale.paper()
+        assert scale.pool_size == 1000
+        assert scale.neighbour_count == 200
+
+    def test_tag_distinguishes_scales(self):
+        assert ReproScale.quick().tag != ReproScale.default().tag
+        assert ReproScale.quick().tag != ReproScale.quick().with_(
+            seed=5).tag
+
+    def test_with_overrides(self):
+        scale = ReproScale.quick().with_(n_phases=7)
+        assert scale.n_phases == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReproScale(n_phases=0)
+        with pytest.raises(ValueError):
+            ReproScale(pool_size=1)
+
+
+class TestPipeline:
+    def test_phase_data_complete(self, quick_pipeline):
+        data = quick_pipeline.all_phase_data
+        scale = quick_pipeline.scale
+        assert len(data) == len(scale.benchmarks) * scale.n_phases
+        sample = next(iter(data.values()))
+        assert "advanced" in sample.features and "basic" in sample.features
+        assert len(sample.evaluations) > scale.pool_size
+
+    def test_pool_shared_across_phases(self, quick_pipeline):
+        for data in quick_pipeline.all_phase_data.values():
+            for config in quick_pipeline.pool:
+                assert config in data.evaluations
+
+    def test_baseline_is_pool_member(self, quick_pipeline):
+        assert quick_pipeline.baseline_config in quick_pipeline.pool
+
+    def test_oracle_at_least_baseline_per_phase(self, quick_pipeline):
+        for key in quick_pipeline.phase_keys:
+            oracle_eff = quick_pipeline.evaluate(
+                key, quick_pipeline.oracle[key]).efficiency
+            base_eff = quick_pipeline.evaluate(
+                key, quick_pipeline.baseline_config).efficiency
+            assert oracle_eff >= base_eff
+
+    def test_per_program_static_between_baseline_and_oracle(
+            self, quick_pipeline):
+        from repro.experiments import geomean
+        perprog = quick_pipeline.suite_ratios(
+            quick_pipeline.per_program_assignment())
+        oracle = quick_pipeline.suite_ratios(quick_pipeline.oracle)
+        assert geomean(list(perprog.values())) >= 1.0 - 1e-9
+        assert geomean(list(oracle.values())) >= geomean(
+            list(perprog.values())) - 1e-9
+
+    def test_predictions_cover_every_phase(self, quick_pipeline):
+        predictions = quick_pipeline.predictions("advanced")
+        assert set(predictions) == set(quick_pipeline.phase_keys)
+        for config in predictions.values():
+            assert isinstance(config, MicroarchConfig)
+
+    def test_evaluate_memoises_new_configs(self, quick_pipeline):
+        key = quick_pipeline.phase_keys[0]
+        config = quick_pipeline.pool[0].with_value("width", 6)
+        first = quick_pipeline.evaluate(key, config)
+        second = quick_pipeline.evaluate(key, config)
+        assert first is second
+
+    def test_phase_ratio_of_baseline_is_one(self, quick_pipeline):
+        key = quick_pipeline.phase_keys[0]
+        assert quick_pipeline.phase_ratio(
+            key, quick_pipeline.baseline_config) == pytest.approx(1.0)
+
+    def test_unknown_feature_set_rejected(self, quick_pipeline):
+        with pytest.raises(KeyError):
+            quick_pipeline.predictions("imaginary")
+
+    def test_cache_hits_on_second_pipeline(self, quick_pipeline):
+        from repro.experiments import ExperimentPipeline
+        clone = ExperimentPipeline(quick_pipeline.scale,
+                                   store=quick_pipeline.store)
+        clone.all_phase_data  # must come from cache
+        assert clone.store.hits > 0
+
+    def test_full_predictor_trains(self, quick_pipeline):
+        predictor = quick_pipeline.full_predictor("advanced")
+        assert predictor.is_trained
+        key = quick_pipeline.phase_keys[0]
+        features = quick_pipeline.all_phase_data[key].features["advanced"]
+        assert isinstance(predictor.predict(features), MicroarchConfig)

@@ -1,0 +1,66 @@
+"""Tests for ASCII reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_ratio,
+    render_bars,
+    render_distribution,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) <= len(lines[1]) + 2 for line in lines)
+
+    def test_title(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderBars:
+    def test_values_shown(self):
+        text = render_bars(["one", "two"], [1.0, 2.0])
+        assert "1.00x" in text and "2.00x" in text
+        assert "#" in text
+
+    def test_longest_bar_for_largest(self):
+        text = render_bars(["small", "large"], [0.5, 4.0])
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_reference_marker(self):
+        text = render_bars(["a"], [0.5], reference=1.0)
+        assert "|" in text
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+
+class TestRenderDistribution:
+    def test_rows_and_ecdf(self):
+        text = render_distribution(["[0,1)", "[1,2)"], [0.25, 0.75],
+                                   ecdf=[1.0, 0.75])
+        assert "25.0%" in text and "75.0%" in text
+        assert "ecdf" in text
+
+    def test_without_ecdf(self):
+        text = render_distribution(["a"], [1.0])
+        assert "ecdf" not in text
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_distribution(["a"], [0.5, 0.5])
+
+
+def test_format_ratio():
+    assert format_ratio(1.234) == "1.23x"

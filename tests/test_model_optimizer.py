@@ -1,0 +1,98 @@
+"""Tests for the conjugate-gradient optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.model import minimize_cg
+
+
+def quadratic(a_diag, b):
+    a = np.asarray(a_diag, dtype=float)
+    b = np.asarray(b, dtype=float)
+
+    def fun(x):
+        return 0.5 * float(x @ (a * x)) - float(b @ x), a * x - b
+
+    return fun, b / a
+
+
+class TestQuadratics:
+    def test_well_conditioned(self):
+        fun, solution = quadratic([1.0, 2.0, 3.0], [1.0, 1.0, 1.0])
+        result = minimize_cg(fun, np.zeros(3))
+        assert np.allclose(result.x, solution, atol=1e-3)
+        assert result.converged
+
+    def test_badly_conditioned(self):
+        fun, solution = quadratic([1.0, 100.0, 10000.0], [1.0, 2.0, 3.0])
+        result = minimize_cg(fun, np.zeros(3), max_iterations=500)
+        assert np.allclose(result.x, solution, rtol=1e-2, atol=1e-3)
+
+    def test_starts_anywhere(self):
+        fun, solution = quadratic([5.0, 1.0], [2.0, -3.0])
+        result = minimize_cg(fun, np.array([100.0, -50.0]))
+        assert np.allclose(result.x, solution, atol=1e-2)
+
+    def test_already_at_minimum(self):
+        fun, solution = quadratic([2.0, 2.0], [0.0, 0.0])
+        result = minimize_cg(fun, np.zeros(2))
+        assert result.converged
+        assert result.iterations <= 2
+
+
+class TestNonQuadratic:
+    def test_rosenbrock_improves(self):
+        def rosenbrock(x):
+            value = (1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2
+            grad = np.array([
+                -2 * (1 - x[0]) - 400 * x[0] * (x[1] - x[0] ** 2),
+                200 * (x[1] - x[0] ** 2),
+            ])
+            return float(value), grad
+
+        start = np.array([-1.2, 1.0])
+        result = minimize_cg(rosenbrock, start, max_iterations=2000,
+                             value_tolerance=0.0)
+        assert result.value < 0.5  # from 24.2 at the start
+
+    def test_logistic_loss(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 3))
+        y = (x @ np.array([1.0, -2.0, 0.5]) > 0).astype(float)
+
+        def loss(w):
+            z = x @ w
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+            value = -np.sum(y * np.log(p + 1e-12)
+                            + (1 - y) * np.log(1 - p + 1e-12))
+            grad = x.T @ (p - y)
+            return float(value), grad
+
+        result = minimize_cg(loss, np.zeros(3), max_iterations=300)
+        accuracy = ((x @ result.x > 0) == y).mean()
+        assert accuracy > 0.95
+
+
+class TestBudgets:
+    def test_iteration_budget_respected(self):
+        fun, _ = quadratic([1.0, 100.0, 10000.0], [1.0, 2.0, 3.0])
+        result = minimize_cg(fun, np.zeros(3), max_iterations=3)
+        assert result.iterations <= 3
+
+    def test_reports_function_evals(self):
+        fun, _ = quadratic([1.0, 2.0], [1.0, 1.0])
+        result = minimize_cg(fun, np.zeros(2))
+        assert result.function_evals >= result.iterations
+
+    def test_monotone_nonincreasing(self):
+        values = []
+
+        def tracked(x):
+            value = float((x**2).sum())
+            values.append(value)
+            return value, 2 * x
+
+        minimize_cg(tracked, np.array([5.0, -3.0]))
+        # Accepted iterates only decrease; raw evals may probe upward, but
+        # the final value must be far below the start.
+        assert values[-1] <= values[0]

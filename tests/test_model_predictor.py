@@ -1,0 +1,102 @@
+"""Tests for the per-parameter configuration predictor."""
+
+import numpy as np
+import pytest
+
+from repro.config import DesignSpace, MicroarchConfig, TABLE1_PARAMETERS
+from repro.model import ConfigurationPredictor
+
+
+def synthetic_phases(n_phases=24, seed=0):
+    """Phases whose good configurations are a deterministic function of a
+    2D feature: big-footprint phases want big caches, parallel phases
+    want wide machines."""
+    rng = np.random.default_rng(seed)
+    space = DesignSpace(seed=seed)
+    features = []
+    goods = []
+    for _ in range(n_phases):
+        memory_bound = rng.random()
+        parallel = rng.random()
+        x = np.array([memory_bound, parallel, 1.0])
+        base = space.random_configuration()
+        config = (base
+                  .with_value("dcache_size",
+                              128 * 1024 if memory_bound > 0.5 else 8 * 1024)
+                  .with_value("l2_size",
+                              4 * 1024 * 1024 if memory_bound > 0.5
+                              else 256 * 1024)
+                  .with_value("width", 8 if parallel > 0.5 else 2)
+                  .with_value("iq_size", 80 if parallel > 0.5 else 8))
+        neighbours = space.random_neighbours(config, 3)
+        features.append(x)
+        goods.append([config] + neighbours)
+    return features, goods
+
+
+class TestFit:
+    def test_trains_all_parameters(self):
+        features, goods = synthetic_phases()
+        predictor = ConfigurationPredictor(max_iterations=60).fit(
+            features, goods)
+        assert predictor.is_trained
+        assert set(predictor.classifiers) == {p.name
+                                              for p in TABLE1_PARAMETERS}
+
+    def test_prediction_is_valid_config(self):
+        features, goods = synthetic_phases()
+        predictor = ConfigurationPredictor(max_iterations=60).fit(
+            features, goods)
+        config = predictor.predict(features[0])
+        assert isinstance(config, MicroarchConfig)
+
+    def test_learns_feature_dependence(self):
+        features, goods = synthetic_phases(n_phases=40)
+        predictor = ConfigurationPredictor(max_iterations=120).fit(
+            features, goods)
+        memory_bound = predictor.predict(np.array([0.95, 0.5, 1.0]))
+        compute = predictor.predict(np.array([0.05, 0.5, 1.0]))
+        assert memory_bound.dcache_size > compute.dcache_size
+        assert memory_bound.l2_size > compute.l2_size
+        wide = predictor.predict(np.array([0.5, 0.95, 1.0]))
+        narrow = predictor.predict(np.array([0.5, 0.05, 1.0]))
+        assert wide.width > narrow.width
+        assert wide.iq_size > narrow.iq_size
+
+    def test_fit_evaluations_selects_goods(self):
+        space = DesignSpace(seed=1)
+        configs = space.random_sample(12)
+        target = configs[0]
+        evaluations = [{c: (100.0 if c == target else 50.0)
+                        for c in configs}]
+        predictor = ConfigurationPredictor(max_iterations=60)
+        predictor.fit_evaluations([np.array([1.0])], evaluations)
+        assert predictor.predict(np.array([1.0])) == target
+
+    def test_weight_count_magnitude(self):
+        """Section VIII estimates ~2000 weights stored in 2KB; ours scale
+        with the feature dimension but stay small."""
+        features, goods = synthetic_phases(n_phases=10)
+        predictor = ConfigurationPredictor(max_iterations=20).fit(
+            features, goods)
+        total_k = sum(p.cardinality for p in TABLE1_PARAMETERS)
+        assert predictor.weight_count() == len(features[0]) * total_k
+
+    def test_proba_per_parameter(self):
+        features, goods = synthetic_phases(n_phases=10)
+        predictor = ConfigurationPredictor(max_iterations=30).fit(
+            features, goods)
+        probs = predictor.predict_proba(features[0])
+        for parameter in TABLE1_PARAMETERS:
+            assert probs[parameter.name].sum() == pytest.approx(1.0)
+            assert len(probs[parameter.name]) == parameter.cardinality
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ConfigurationPredictor().predict(np.zeros(3))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationPredictor().fit([], [])

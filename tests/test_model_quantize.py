@@ -1,0 +1,80 @@
+"""Tests for 8-bit quantised inference (section VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DesignSpace
+from repro.model import ConfigurationPredictor
+from repro.model.quantize import QuantizedPredictor
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    space = DesignSpace(seed=0)
+    features = []
+    goods = []
+    for _ in range(16):
+        knob = rng.random()
+        features.append(np.array([knob, 1 - knob, 1.0]))
+        base = space.random_configuration()
+        goods.append([
+            base.with_value("width", 8 if knob > 0.5 else 2)
+            .with_value("dcache_size", 131072 if knob > 0.5 else 8192)
+        ])
+    predictor = ConfigurationPredictor(max_iterations=60).fit(features,
+                                                              goods)
+    return predictor, features
+
+
+class TestQuantizedPredictor:
+    def test_requires_trained_predictor(self):
+        with pytest.raises(ValueError):
+            QuantizedPredictor(ConfigurationPredictor())
+
+    def test_weights_are_int8(self, trained):
+        predictor, _ = trained
+        quantised = QuantizedPredictor(predictor)
+        for matrix in quantised._matrices.values():
+            assert matrix.weights.dtype == np.int8
+
+    def test_high_agreement_with_float_model(self, trained):
+        """Section VIII: 8-bit weights suffice for the hard decision."""
+        predictor, features = trained
+        quantised = QuantizedPredictor(predictor)
+        assert quantised.agreement(predictor, features) > 0.9
+
+    def test_storage_is_one_byte_per_weight(self, trained):
+        predictor, _ = trained
+        quantised = QuantizedPredictor(predictor)
+        assert quantised.storage_bytes == quantised.weight_count
+        assert quantised.weight_count == predictor.weight_count()
+
+    def test_prediction_is_valid_config(self, trained):
+        predictor, features = trained
+        quantised = QuantizedPredictor(predictor)
+        config = quantised.predict(features[0])
+        assert config.width in (2, 4, 6, 8)
+
+    def test_learned_decision_survives(self, trained):
+        predictor, _ = trained
+        quantised = QuantizedPredictor(predictor)
+        wide = quantised.predict(np.array([0.95, 0.05, 1.0]))
+        narrow = quantised.predict(np.array([0.05, 0.95, 1.0]))
+        assert wide.width > narrow.width
+
+    def test_agreement_requires_features(self, trained):
+        predictor, _ = trained
+        quantised = QuantizedPredictor(predictor)
+        with pytest.raises(ValueError):
+            quantised.agreement(predictor, [])
+
+    def test_row_centering_cancels_in_argmax(self):
+        """A per-feature offset shared by all classes never changes the
+        argmax, so centring before quantisation is decision-safe."""
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(5, 3))
+        offset = weights + rng.normal(size=(5, 1))  # per-row shift
+        x = rng.normal(size=(20, 5))
+        assert (np.argmax(x @ weights, axis=1)
+                == np.argmax(x @ offset, axis=1)).all()

@@ -1,0 +1,56 @@
+"""Tests for predictor save/load."""
+
+import numpy as np
+import pytest
+
+from repro.config import DesignSpace
+from repro.model import ConfigurationPredictor, load_predictor, save_predictor
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    space = DesignSpace(seed=0)
+    features = [np.array([rng.random(), 1.0]) for _ in range(8)]
+    goods = [[space.random_configuration()] for _ in range(8)]
+    return ConfigurationPredictor(max_iterations=20).fit(features, goods), \
+        features
+
+
+class TestRoundTrip:
+    def test_save_load_predicts_identically(self, trained, tmp_path):
+        predictor, features = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        loaded = load_predictor(path)
+        for x in features:
+            assert loaded.predict(x) == predictor.predict(x)
+
+    def test_regularization_preserved(self, trained, tmp_path):
+        predictor, _ = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        assert load_predictor(path).regularization == \
+            predictor.regularization
+
+    def test_untrained_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_predictor(ConfigurationPredictor(), tmp_path / "x.npz")
+
+    def test_corrupt_version_rejected(self, trained, tmp_path):
+        predictor, _ = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        with np.load(path) as data:
+            arrays = dict(data)
+        arrays["__version__"] = np.array([99])
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_predictor(path)
+
+    def test_weight_shape_checked(self, trained, tmp_path):
+        predictor, _ = trained
+        path = save_predictor(predictor, tmp_path / "model.npz")
+        with np.load(path) as data:
+            arrays = dict(data)
+        arrays["weights_width"] = arrays["weights_width"][:, :2]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_predictor(path)

@@ -1,0 +1,95 @@
+"""Tests for good-configuration selection and dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.config import DesignSpace, parameter_by_name
+from repro.model import build_parameter_dataset, good_configurations
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(seed=0)
+
+
+class TestGoodConfigurations:
+    def test_within_5_percent(self, space):
+        configs = space.random_sample(20)
+        evaluations = {c: 100.0 - i for i, c in enumerate(configs)}
+        goods = good_configurations(evaluations, threshold=0.05)
+        # best = 100; cut = 95: configs with value >= 95 are indices 0..5.
+        assert len(goods) == 6
+        assert all(evaluations[c] >= 95.0 for c in goods)
+
+    def test_best_always_included(self, space):
+        configs = space.random_sample(10)
+        evaluations = {c: float(i) + 1 for i, c in enumerate(configs)}
+        goods = good_configurations(evaluations)
+        assert configs[-1] in goods
+
+    def test_zero_threshold_keeps_only_best(self, space):
+        configs = space.random_sample(10)
+        evaluations = {c: float(i) for i, c in enumerate(configs)}
+        goods = good_configurations(evaluations, threshold=0.0)
+        assert goods == [configs[-1]]
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            good_configurations({})
+        configs = space.random_sample(2)
+        with pytest.raises(ValueError):
+            good_configurations({configs[0]: 1.0}, threshold=1.0)
+
+
+class TestBuildDataset:
+    def test_labels_are_value_indices(self, space):
+        parameter = parameter_by_name("width")
+        features = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        goods = [
+            [space.random_configuration().with_value("width", 4)],
+            [space.random_configuration().with_value("width", 8)],
+        ]
+        dataset = build_parameter_dataset(parameter, features, goods)
+        assert dataset.labels.tolist() == [1, 3]  # indices of 4 and 8
+
+    def test_compression_by_weight(self, space):
+        """Duplicate (phase, value) pairs compress into one weighted row."""
+        parameter = parameter_by_name("width")
+        base = space.random_configuration()
+        goods = [[base.with_value("width", 4),
+                  base.with_value("width", 4).with_value("rob_size", 32),
+                  base.with_value("width", 8)]]
+        features = [np.array([1.0])]
+        dataset = build_parameter_dataset(parameter, features, goods)
+        assert len(dataset.labels) == 2  # width=4 (x2) and width=8
+        assert dataset.n_samples == 3
+        by_label = dict(zip(dataset.labels.tolist(),
+                            dataset.weights.tolist()))
+        assert by_label[parameter.index_of(4)] == 2.0
+        assert by_label[parameter.index_of(8)] == 1.0
+
+    def test_phase_ids_track_source(self, space):
+        parameter = parameter_by_name("width")
+        features = [np.zeros(2), np.ones(2)]
+        goods = [[space.random_configuration()],
+                 [space.random_configuration()]]
+        dataset = build_parameter_dataset(parameter, features, goods)
+        assert set(dataset.phase_ids) == {0, 1}
+
+    def test_rows_repeat_phase_features(self, space):
+        parameter = parameter_by_name("iq_size")
+        features = [np.array([7.0, 8.0])]
+        goods = [[space.random_configuration(),
+                  space.random_configuration()]]
+        dataset = build_parameter_dataset(parameter, features, goods)
+        assert (dataset.x == features[0]).all()
+
+    def test_misaligned_inputs_rejected(self, space):
+        parameter = parameter_by_name("width")
+        with pytest.raises(ValueError):
+            build_parameter_dataset(parameter, [np.zeros(2)], [])
+
+    def test_empty_goods_rejected(self, space):
+        parameter = parameter_by_name("width")
+        with pytest.raises(ValueError):
+            build_parameter_dataset(parameter, [np.zeros(2)], [[]])

@@ -1,0 +1,62 @@
+"""Tests for basic-block vectors."""
+
+import numpy as np
+import pytest
+
+from repro.phases import basic_block_vector, bbv_distance
+from repro.workloads import PhaseSpec, TraceGenerator
+
+
+class TestBBV:
+    def test_normalised(self, small_trace):
+        bbv = basic_block_vector(small_trace)
+        assert bbv.sum() == pytest.approx(1.0)
+        assert (bbv >= 0).all()
+
+    def test_dimension(self, small_trace):
+        assert len(basic_block_vector(small_trace, dim=32)) == 32
+
+    def test_dim_validated(self, small_trace):
+        with pytest.raises(ValueError):
+            basic_block_vector(small_trace, dim=1)
+
+    def test_same_phase_similar(self, int_spec):
+        # Intervals must be long enough to average out per-visit loop
+        # trip-count noise (SimPoint intervals are 10M instructions).
+        generator = TraceGenerator(int_spec)
+        a = basic_block_vector(generator.generate(6000, stream_seed=1))
+        b = basic_block_vector(generator.generate(6000, stream_seed=2))
+        same = bbv_distance(a, b)
+        c = basic_block_vector(TraceGenerator(
+            int_spec.varied(name="other", code_blocks=173)).generate(6000))
+        different = bbv_distance(a, c)
+        assert same < different
+
+    def test_different_phases_far(self, int_spec, fp_spec):
+        a = basic_block_vector(TraceGenerator(int_spec).generate(1500))
+        b = basic_block_vector(TraceGenerator(fp_spec).generate(1500))
+        assert bbv_distance(a, b) > 0.5
+
+    def test_deterministic(self, small_trace):
+        assert np.array_equal(basic_block_vector(small_trace),
+                              basic_block_vector(small_trace))
+
+
+class TestDistance:
+    def test_identity(self, small_trace):
+        bbv = basic_block_vector(small_trace)
+        assert bbv_distance(bbv, bbv) == 0.0
+
+    def test_symmetry(self, small_trace, fp_trace):
+        a = basic_block_vector(small_trace)
+        b = basic_block_vector(fp_trace)
+        assert bbv_distance(a, b) == pytest.approx(bbv_distance(b, a))
+
+    def test_bounded_by_two(self, small_trace, fp_trace):
+        a = basic_block_vector(small_trace)
+        b = basic_block_vector(fp_trace)
+        assert 0.0 <= bbv_distance(a, b) <= 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bbv_distance(np.zeros(4), np.zeros(8))

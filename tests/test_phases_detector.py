@@ -1,0 +1,118 @@
+"""Tests for the online phase detector."""
+
+import pytest
+
+from repro.phases import PhaseDetector, signature_distance, signature_of
+from repro.workloads import PhaseSpec, Program, TraceGenerator, make_schedule
+
+
+@pytest.fixture
+def detector():
+    return PhaseDetector()
+
+
+@pytest.fixture(scope="module")
+def two_phase_program():
+    specs = (
+        PhaseSpec(name="det-a", code_blocks=24, footprint_blocks=128),
+        PhaseSpec(name="det-b", code_blocks=200, footprint_blocks=2048,
+                  fp_frac=0.5, branch_frac=0.08),
+    )
+    # Intervals must cover each phase's code working set (as SimPoint's
+    # 10M-instruction intervals do), else signatures are unstable.
+    return Program(name="det", phase_specs=specs,
+                   schedule=(0, 0, 0, 1, 1, 1, 0, 0, 1, 1),
+                   interval_length=3000, seed=2)
+
+
+class TestSignatures:
+    def test_signature_shape(self, small_trace):
+        signature = signature_of(small_trace, bits=128)
+        assert signature.shape == (128,)
+        assert signature.dtype == bool
+
+    def test_same_trace_zero_distance(self, small_trace):
+        a = signature_of(small_trace)
+        assert signature_distance(a, a) == 0.0
+
+    def test_different_code_far(self, small_trace, fp_trace):
+        a = signature_of(small_trace)
+        b = signature_of(fp_trace)
+        assert signature_distance(a, b) > 0.3
+
+    def test_bits_validated(self, small_trace):
+        with pytest.raises(ValueError):
+            signature_of(small_trace, bits=4)
+
+    def test_distance_validates_shapes(self, small_trace):
+        with pytest.raises(ValueError):
+            signature_distance(signature_of(small_trace, 64),
+                               signature_of(small_trace, 128))
+
+
+class TestDetector:
+    def test_first_interval_is_new_phase(self, detector, two_phase_program):
+        obs = detector.observe(two_phase_program.interval_trace(0))
+        assert obs.phase_changed and obs.is_new_phase
+        assert detector.known_phases == 1
+
+    def test_stable_phase_not_flagged(self, detector, two_phase_program):
+        detector.observe(two_phase_program.interval_trace(0))
+        obs = detector.observe(two_phase_program.interval_trace(1))
+        assert not obs.phase_changed
+
+    def test_detects_change(self, detector, two_phase_program):
+        for i in range(3):
+            detector.observe(two_phase_program.interval_trace(i))
+        obs = detector.observe(two_phase_program.interval_trace(3))
+        assert obs.phase_changed
+
+    def test_recognises_recurring_phase(self, detector, two_phase_program):
+        phase_ids = []
+        for i in range(two_phase_program.n_intervals):
+            obs = detector.observe(two_phase_program.interval_trace(i))
+            phase_ids.append(obs.phase_id)
+        # Intervals 6-7 return to phase 0: same id as intervals 0-2.
+        assert phase_ids[6] == phase_ids[0]
+        assert phase_ids[8] == phase_ids[3]
+        assert detector.known_phases <= 3
+
+    def test_change_rate_matches_schedule(self, two_phase_program):
+        detector = PhaseDetector()
+        changes = 0
+        for i in range(two_phase_program.n_intervals):
+            if detector.observe(two_phase_program.interval_trace(i)).phase_changed:
+                changes += 1
+        # Schedule has 4 transitions (+1 initial).
+        assert 3 <= changes <= 6
+
+    def test_reset(self, detector, two_phase_program):
+        detector.observe(two_phase_program.interval_trace(0))
+        detector.reset()
+        assert detector.known_phases == 0
+        obs = detector.observe(two_phase_program.interval_trace(0))
+        assert obs.is_new_phase
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(change_threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseDetector(match_threshold=1.5)
+
+    def test_long_run_reconfigures_sparsely(self):
+        """On a realistic schedule the phase-change rate is well under one
+        per interval (the paper reconfigures ~1 in 10 intervals)."""
+        specs = tuple(
+            PhaseSpec(name=f"lr-{i}", code_blocks=24 + 40 * i,
+                      footprint_blocks=128 << i)
+            for i in range(4)
+        )
+        schedule = tuple(make_schedule(4, 60, mean_segment=10, seed=7))
+        program = Program(name="lr", phase_specs=specs, schedule=schedule,
+                          interval_length=2500, seed=3)
+        detector = PhaseDetector()
+        changes = sum(
+            detector.observe(program.interval_trace(i)).phase_changed
+            for i in range(program.n_intervals)
+        )
+        assert changes <= 0.35 * program.n_intervals

@@ -1,0 +1,101 @@
+"""Tests for SimPoint-style phase extraction."""
+
+import numpy as np
+import pytest
+
+from repro.phases import KMeans, extract_phases
+from repro.workloads import Program, make_schedule
+
+
+class TestKMeans:
+    def test_separable_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(30, 4))
+        b = rng.normal(1.0, 0.05, size=(30, 4))
+        labels, centroids = KMeans(n_clusters=2, seed=1).fit(
+            np.vstack([a, b]))
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+
+    def test_k_clamped_to_points(self):
+        x = np.zeros((3, 2))
+        labels, centroids = KMeans(n_clusters=10, seed=0).fit(x)
+        assert len(centroids) == 3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 6))
+        a, _ = KMeans(n_clusters=4, seed=9).fit(x)
+        b, _ = KMeans(n_clusters=4, seed=9).fit(x)
+        assert (a == b).all()
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.zeros((0, 3)))
+
+    def test_centroids_are_means(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 3))
+        labels, centroids = KMeans(n_clusters=3, seed=0).fit(x)
+        for c in range(3):
+            members = x[labels == c]
+            if len(members):
+                assert np.allclose(centroids[c], members.mean(axis=0))
+
+
+@pytest.fixture(scope="module")
+def phased_program(int_spec=None, fp_spec=None):
+    from repro.workloads import PhaseSpec
+    specs = (
+        PhaseSpec(name="sp-int", footprint_blocks=128, code_blocks=24,
+                  ilp_mean=4.0),
+        PhaseSpec(name="sp-fp", fp_frac=0.6, branch_frac=0.07,
+                  footprint_blocks=2048, code_blocks=16,
+                  loop_branch_frac=0.8, ilp_mean=18.0),
+        PhaseSpec(name="sp-mem", footprint_blocks=20_000, scatter_frac=0.4,
+                  load_frac=0.32, code_blocks=40),
+    )
+    schedule = tuple(make_schedule(3, 36, mean_segment=6, seed=4))
+    return Program(name="sp", phase_specs=specs, schedule=schedule,
+                   interval_length=600, seed=1)
+
+
+class TestExtractPhases:
+    def test_phase_count_bounded(self, phased_program):
+        result = extract_phases(phased_program, max_phases=5)
+        assert 1 <= result.n_phases <= 5
+
+    def test_representatives_are_intervals(self, phased_program):
+        result = extract_phases(phased_program, max_phases=4)
+        for rep in result.representatives:
+            assert 0 <= rep < phased_program.n_intervals
+
+    def test_weights_sum_to_one(self, phased_program):
+        result = extract_phases(phased_program, max_phases=4)
+        assert sum(result.weights) == pytest.approx(1.0)
+
+    def test_labels_cover_intervals(self, phased_program):
+        result = extract_phases(phased_program, max_phases=4)
+        assert len(result.labels) == phased_program.n_intervals
+        assert set(result.labels.tolist()) == set(range(result.n_phases))
+
+    def test_clustering_tracks_true_phases(self, phased_program):
+        """Intervals of the same true phase mostly share a cluster."""
+        result = extract_phases(phased_program, max_phases=3)
+        agreement = 0
+        total = 0
+        for true_phase in range(phased_program.n_phases):
+            members = [result.labels[i]
+                       for i in range(phased_program.n_intervals)
+                       if phased_program.true_phase_of(i) == true_phase]
+            if not members:
+                continue
+            dominant = max(set(members), key=members.count)
+            agreement += members.count(dominant)
+            total += len(members)
+        assert agreement / total > 0.7
+
+    def test_bic_selection_runs(self, phased_program):
+        result = extract_phases(phased_program, max_phases=6, select_k=True)
+        assert 2 <= result.n_phases <= 6

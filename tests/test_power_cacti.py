@@ -1,0 +1,82 @@
+"""Tests for the Cacti-style scaling model."""
+
+import pytest
+
+from repro.power import ArrayGeometry, CactiModel
+
+
+@pytest.fixture(scope="module")
+def cacti():
+    return CactiModel()
+
+
+def cache_geometry(size_kib: int, ports: int = 1) -> ArrayGeometry:
+    return ArrayGeometry(size_kib * 1024 // 64, 64 * 8 + 40,
+                         read_ports=ports, write_ports=ports)
+
+
+class TestGeometry:
+    def test_total_bits(self):
+        geometry = ArrayGeometry(128, 64)
+        assert geometry.total_bits == 128 * 64
+
+    def test_cam_adds_tag_bits(self):
+        geometry = ArrayGeometry(32, 64, is_cam=True, tag_bits=16)
+        assert geometry.total_bits == 32 * 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(0, 64)
+        with pytest.raises(ValueError):
+            ArrayGeometry(16, 64, read_ports=0)
+        with pytest.raises(ValueError):
+            ArrayGeometry(16, 64, is_cam=True)  # needs tag bits
+
+
+class TestScalingLaws:
+    def test_latency_grows_with_size(self, cacti):
+        assert cacti.access_latency_ns(cache_geometry(128)) > \
+            cacti.access_latency_ns(cache_geometry(8))
+
+    def test_latency_grows_with_ports(self, cacti):
+        few = ArrayGeometry(160, 64, 2, 1)
+        many = ArrayGeometry(160, 64, 16, 8)
+        assert cacti.access_latency_ns(many) > cacti.access_latency_ns(few)
+
+    def test_cam_latency_grows_with_entries(self, cacti):
+        small = ArrayGeometry(8, 64, is_cam=True, tag_bits=16)
+        large = ArrayGeometry(80, 64, is_cam=True, tag_bits=16)
+        assert cacti.access_latency_ns(large) > cacti.access_latency_ns(small)
+
+    def test_energy_grows_with_size(self, cacti):
+        assert cacti.read_energy_pj(cache_geometry(128)) > \
+            cacti.read_energy_pj(cache_geometry(8))
+
+    def test_write_costs_more_than_read(self, cacti):
+        geometry = cache_geometry(32)
+        assert cacti.write_energy_pj(geometry) > cacti.read_energy_pj(geometry)
+
+    def test_port_energy_superlinear(self, cacti):
+        one = ArrayGeometry(160, 64, 1, 1)
+        eight = ArrayGeometry(160, 64, 8, 8)
+        ratio = cacti.read_energy_pj(eight) / cacti.read_energy_pj(one)
+        assert ratio > 2.0
+
+    def test_leakage_proportional_to_bits(self, cacti):
+        small = cache_geometry(256)
+        large = cache_geometry(1024)
+        ratio = cacti.leakage_mw(large) / cacti.leakage_mw(small)
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_transistor_count_scales(self, cacti):
+        assert cacti.transistors(cache_geometry(64)) > \
+            cacti.transistors(cache_geometry(8))
+
+    def test_absolute_plausibility(self, cacti):
+        """A 32KB L1 should read in ~1ns for tens of pJ."""
+        l1 = cache_geometry(32)
+        assert 0.4 < cacti.access_latency_ns(l1) < 3.0
+        assert 10 < cacti.read_energy_pj(l1) < 400
+        l2 = cache_geometry(4096)
+        assert cacti.access_latency_ns(l2) < 10.0
+        assert cacti.leakage_mw(l2) > 100  # a 4MB array leaks watts-ish

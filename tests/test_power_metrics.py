@@ -1,0 +1,58 @@
+"""Tests for the ips^3/W efficiency metric."""
+
+import pytest
+
+from repro.power import EfficiencyResult, energy_efficiency
+
+
+def result(instructions=1000, cycles=500, time_ns=100.0, energy_pj=1e6):
+    return EfficiencyResult(instructions=instructions, cycles=cycles,
+                            time_ns=time_ns, energy_pj=energy_pj)
+
+
+class TestEfficiencyResult:
+    def test_ips(self):
+        r = result(instructions=1000, time_ns=1000.0)  # 1000 insn / 1us
+        assert r.ips == pytest.approx(1e9)
+
+    def test_ipc(self):
+        assert result(instructions=1000, cycles=500).ipc == 2.0
+
+    def test_power(self):
+        r = result(time_ns=100.0, energy_pj=1e5)  # 1e5 pJ / 100ns = 1W
+        assert r.power_watts == pytest.approx(1.0)
+
+    def test_energy_joules(self):
+        assert result(energy_pj=1e12).energy_joules == pytest.approx(1.0)
+
+    def test_efficiency_is_cubed_ips_over_watts(self):
+        r = result()
+        assert r.efficiency == pytest.approx(r.ips**3 / r.power_watts)
+
+    def test_bips3_variant(self):
+        r = result()
+        assert r.bips3_per_watt == pytest.approx(
+            (r.ips / 1e9) ** 3 / r.power_watts)
+
+    def test_performance_weighs_more_than_power(self):
+        """Doubling speed at double power is a win under ips^3/W."""
+        slow = result(time_ns=200.0, energy_pj=1e6)
+        fast = result(time_ns=100.0, energy_pj=1e6)  # same energy, 2x speed
+        assert fast.efficiency == pytest.approx(4 * slow.efficiency)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            result(time_ns=0.0)
+        with pytest.raises(ValueError):
+            result(energy_pj=0.0)
+        with pytest.raises(ValueError):
+            result(instructions=0)
+
+
+class TestEnergyEfficiency:
+    def test_formula(self):
+        assert energy_efficiency(2.0, 4.0) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            energy_efficiency(1.0, 0.0)

@@ -1,0 +1,85 @@
+"""Tests for the Wattch-style power accounting."""
+
+import pytest
+
+from repro.power import account
+from repro.timing import CycleSimulator, derive_machine_params
+
+
+@pytest.fixture(scope="module")
+def params(baseline_config=None):
+    from repro.config import KIB, MIB, MicroarchConfig
+    config = MicroarchConfig(
+        width=4, rob_size=144, iq_size=48, lsq_size=32, rf_size=160,
+        rf_rd_ports=4, rf_wr_ports=2, gshare_size=16 * KIB, btb_size=KIB,
+        branches=24, icache_size=64 * KIB, dcache_size=32 * KIB,
+        l2_size=MIB, depth_fo4=12,
+    )
+    return derive_machine_params(config)
+
+
+def base_activity(**overrides):
+    activity = {
+        "icache_access": 1000, "icache_miss": 10, "dcache_access": 800,
+        "dcache_miss": 40, "l2_access": 50, "l2_miss": 5,
+        "gshare_access": 300, "btb_access": 300, "rob_write": 2200,
+        "rob_read": 2000, "iq_write": 2200, "iq_wakeup": 1800,
+        "iq_select": 2100, "lsq_write": 800, "lsq_search": 600,
+        "rf_read_int": 2500, "rf_read_fp": 100, "rf_write_int": 1500,
+        "rf_write_fp": 80, "ialu_op": 1500, "imul_op": 50, "falu_op": 60,
+        "fmul_op": 10,
+    }
+    activity.update(overrides)
+    return activity
+
+
+class TestAccount:
+    def test_report_components_positive(self, params):
+        report = account(base_activity(), params, cycles=3000)
+        assert report.dynamic_pj > 0
+        assert report.leakage_pj > 0
+        assert report.clock_pj > 0
+        assert report.total_pj == pytest.approx(
+            report.dynamic_pj + report.leakage_pj + report.clock_pj)
+
+    def test_power_consistent_with_energy_and_time(self, params):
+        report = account(base_activity(), params, cycles=3000)
+        assert report.power_watts == pytest.approx(
+            report.total_pj * 1e-12 / (report.time_ns * 1e-9))
+
+    def test_more_activity_more_dynamic(self, params):
+        low = account(base_activity(), params, cycles=3000)
+        high = account(base_activity(dcache_access=8000, ialu_op=15000),
+                       params, cycles=3000)
+        assert high.dynamic_pj > low.dynamic_pj
+
+    def test_longer_run_leaks_more(self, params):
+        short = account(base_activity(), params, cycles=1000)
+        long = account(base_activity(), params, cycles=10_000)
+        assert long.leakage_pj == pytest.approx(10 * short.leakage_pj)
+        assert long.clock_pj == pytest.approx(10 * short.clock_pj)
+
+    def test_l2_misses_priced_as_memory_traffic(self, params):
+        without = account(base_activity(l2_miss=0), params, cycles=3000)
+        with_misses = account(base_activity(l2_miss=100), params, cycles=3000)
+        assert with_misses.per_structure_pj["memory_bus"] > 0
+        assert with_misses.dynamic_pj > without.dynamic_pj
+
+    def test_unknown_activity_key_rejected(self, params):
+        with pytest.raises(KeyError):
+            account({"l3_access": 5}, params, cycles=100)
+
+    def test_zero_counts_ignored(self, params):
+        report = account({"ialu_op": 0}, params, cycles=100)
+        assert report.dynamic_pj == 0.0
+
+    def test_per_structure_breakdown_sums(self, params):
+        report = account(base_activity(), params, cycles=3000)
+        assert sum(report.per_structure_pj.values()) == pytest.approx(
+            report.dynamic_pj)
+
+    def test_cycle_sim_activity_prices_cleanly(self, params, small_trace):
+        """The simulator's activity vocabulary matches the accountant's."""
+        result = CycleSimulator(params.config).run(small_trace)
+        report = account(result.activity, params, result.cycles)
+        assert 0.05 < report.power_watts < 200

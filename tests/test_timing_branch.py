@@ -1,0 +1,114 @@
+"""Tests for the gshare + BTB predictor."""
+
+import numpy as np
+import pytest
+
+from repro.timing import GshareBTB, simulate_btb, simulate_gshare
+
+
+class TestGshareBTB:
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            GshareBTB(1000, 1024)
+        with pytest.raises(ValueError):
+            GshareBTB(1024, 1000)
+
+    def test_learns_always_taken(self):
+        bp = GshareBTB(1024, 1024)
+        pc = 0x4000
+        mispredicts = [bp.predict_and_update(pc, True) for _ in range(20)]
+        assert not any(mispredicts[4:])
+
+    def test_learns_always_not_taken(self):
+        bp = GshareBTB(1024, 1024)
+        pc = 0x4000
+        mispredicts = [bp.predict_and_update(pc, False) for _ in range(20)]
+        assert not any(mispredicts[4:])
+
+    def test_learns_alternating_pattern(self):
+        """Global history lets gshare capture periodic patterns."""
+        bp = GshareBTB(4096, 1024)
+        pattern = [True, True, False] * 60
+        mispredicts = [bp.predict_and_update(0x4000, t) for t in pattern]
+        assert sum(mispredicts[30:]) <= 2
+
+    def test_taken_btb_miss_is_mispredict(self):
+        bp = GshareBTB(1024, 1024)
+        # Train direction to taken without installing pc2 in BTB.
+        for _ in range(8):
+            bp.update(0x999, True)
+        predicted, btb_hit = bp.predict(0x4242 << 2)
+        assert predicted and not btb_hit
+        assert bp.is_mispredict(predicted, btb_hit, actual_taken=True)
+
+    def test_not_taken_btb_miss_is_fine(self):
+        bp = GshareBTB(1024, 1024)
+        assert not bp.is_mispredict(False, False, actual_taken=False)
+
+    def test_direction_wrong_is_mispredict(self):
+        bp = GshareBTB(1024, 1024)
+        assert bp.is_mispredict(True, True, actual_taken=False)
+        assert bp.is_mispredict(False, True, actual_taken=True)
+
+    def test_btb_learns_target(self):
+        bp = GshareBTB(1024, 1024)
+        pc = 0x4000
+        bp.update(pc, True)
+        _, btb_hit = bp.predict(pc)
+        assert btb_hit
+
+    def test_counters_accumulate(self):
+        bp = GshareBTB(1024, 1024)
+        for i in range(10):
+            bp.predict_and_update(0x4000 + 4 * i, i % 2 == 0)
+        assert bp.lookups == 10
+        assert bp.updates == 10
+
+
+class TestBatchSimulation:
+    def test_biased_stream_mispredict_rate(self):
+        rng = np.random.default_rng(0)
+        pcs = np.full(4000, 0x4000, dtype=np.int64)
+        taken = rng.random(4000) < 0.9
+        rate = simulate_gshare(pcs, taken, 4096)
+        assert 0.05 < rate < 0.2  # floor is the 10% noise
+
+    def test_small_table_aliases_more(self):
+        """Many branches with different patterns: bigger tables help."""
+        rng = np.random.default_rng(1)
+        n = 6000
+        pcs = (rng.integers(0, 3000, size=n) * 4 + 0x4000).astype(np.int64)
+        biases = rng.random(3000) < 0.5
+        taken = np.array([biases[(p - 0x4000) // 4] for p in pcs])
+        small = simulate_gshare(pcs, taken, 1024)
+        large = simulate_gshare(pcs, taken, 32 * 1024)
+        assert large <= small + 0.02
+
+    def test_empty_stream(self):
+        empty = np.array([], dtype=np.int64)
+        assert simulate_gshare(empty, np.array([], dtype=bool), 1024) == 0.0
+        assert simulate_btb(empty, np.array([], dtype=bool), 1024) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            simulate_gshare(np.zeros(3, dtype=np.int64),
+                            np.zeros(2, dtype=bool), 1024)
+
+    def test_btb_single_branch_warm(self):
+        pcs = np.full(100, 0x4000, dtype=np.int64)
+        taken = np.ones(100, dtype=bool)
+        assert simulate_btb(pcs, taken, 1024) == pytest.approx(0.01)
+
+    def test_btb_capacity_conflicts(self):
+        """More taken branches than entries: small BTB thrashes."""
+        rng = np.random.default_rng(2)
+        pcs = (rng.integers(0, 5000, size=8000) * 4).astype(np.int64)
+        taken = np.ones(8000, dtype=bool)
+        small = simulate_btb(pcs, taken, 1024)
+        large = simulate_btb(pcs, taken, 4096)
+        assert small > large
+
+    def test_btb_ignores_not_taken(self):
+        pcs = np.arange(100, dtype=np.int64) * 4
+        taken = np.zeros(100, dtype=bool)
+        assert simulate_btb(pcs, taken, 1024) == 0.0

@@ -1,0 +1,184 @@
+"""Tests for caches and locality-distance analyses."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    Cache,
+    CacheHierarchy,
+    block_reuse_distances,
+    derive_machine_params,
+    miss_ratio_curve,
+    set_reuse_distances,
+    stack_distances,
+)
+from repro.timing.caches import smoothed_miss_curve
+
+
+class TestCache:
+    def test_repeat_access_hits(self):
+        cache = Cache(8 * 1024)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_block_different_offsets_hit(self):
+        cache = Cache(8 * 1024)
+        cache.access(0x1000)
+        assert cache.access(0x1030)  # same 64B block
+
+    def test_lru_eviction_order(self):
+        cache = Cache(4 * 64, assoc=4)  # one set, 4 ways
+        for block in range(4):
+            cache.access(block * 64 * cache.n_sets)
+        cache.access(0)  # touch block 0 -> MRU
+        cache.access(4 * 64 * cache.n_sets)  # evicts LRU (block 1)
+        assert cache.probe(0)
+        assert not cache.probe(1 * 64 * cache.n_sets)
+
+    def test_capacity_thrash(self):
+        cache = Cache(8 * 1024, assoc=4)
+        blocks = cache.n_sets * cache.assoc
+        for i in range(3 * blocks):
+            cache.access(i * 64)
+        cache.reset_stats()
+        for i in range(3 * blocks):
+            cache.access(i * 64)
+        assert cache.miss_rate > 0.9
+
+    def test_flush(self):
+        cache = Cache(8 * 1024)
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.probe(0x1000)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(64, assoc=4)  # smaller than one set
+        with pytest.raises(ValueError):
+            Cache(65 * 3, assoc=2)
+
+    def test_set_index_wraps(self):
+        cache = Cache(8 * 1024, assoc=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(cache.n_sets * 64) == 0
+
+
+class TestHierarchy:
+    def test_l1_hit_fastest(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        hierarchy = CacheHierarchy(params)
+        first = hierarchy.access_data(0x2000)
+        second = hierarchy.access_data(0x2000)
+        assert second.l1_hit and second.latency < first.latency
+
+    def test_miss_path_latencies(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        hierarchy = CacheHierarchy(params)
+        cold = hierarchy.access_data(0x9000)
+        assert not cold.l1_hit and not cold.l2_hit
+        assert cold.latency == (params.dcache_latency + params.l2_latency
+                                + params.memory_latency)
+
+    def test_l2_catches_l1_evictions(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        hierarchy = CacheHierarchy(params)
+        n_blocks = params.config.dcache_size // 64
+        for i in range(2 * n_blocks):  # overflow L1, fits L2
+            hierarchy.access_data(i * 64)
+        result = hierarchy.access_data(0)
+        assert not result.l1_hit and result.l2_hit
+
+    def test_inst_and_data_share_l2(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        hierarchy = CacheHierarchy(params)
+        hierarchy.access_inst(0x40_0000)
+        assert hierarchy.l2.probe(0x40_0000)
+        hierarchy.access_data(0x80_0000)
+        assert hierarchy.l2.probe(0x80_0000)
+
+
+class TestStackDistances:
+    def test_first_touches_are_cold(self):
+        assert stack_distances(np.array([1, 2, 3])).tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert stack_distances(np.array([5, 5])).tolist() == [-1, 0]
+
+    def test_classic_example(self):
+        # a b c b a : sd(b)=1, sd(a)=2
+        distances = stack_distances(np.array([1, 2, 3, 2, 1]))
+        assert distances.tolist() == [-1, -1, -1, 1, 2]
+
+    def test_distinct_blocks_counted_once(self):
+        # a b b b a : only one distinct block between the two a's.
+        distances = stack_distances(np.array([1, 2, 2, 2, 1]))
+        assert distances[-1] == 1
+
+    def test_matches_lru_simulation(self):
+        """Mattson: access misses an LRU cache of c blocks iff sd >= c."""
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 40, size=600)
+        distances = stack_distances(blocks)
+        for capacity in (4, 8, 16):
+            lru: list[int] = []
+            misses = 0
+            for i, block in enumerate(blocks):
+                block = int(block)
+                if block in lru:
+                    lru.remove(block)
+                    hit = True
+                else:
+                    hit = False
+                    misses += 1
+                    if len(lru) >= capacity:
+                        lru.pop()
+                lru.insert(0, block)
+                expected_miss = distances[i] < 0 or distances[i] >= capacity
+                assert expected_miss == (not hit)
+
+    def test_miss_ratio_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 500, size=3000)
+        distances = stack_distances(blocks)
+        curve = miss_ratio_curve(distances, [8, 32, 128, 512])
+        values = list(curve.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_smoothed_curve_monotone_and_bounded(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(0, 500, size=3000)
+        distances = stack_distances(blocks)
+        curve = smoothed_miss_curve(distances, [8, 32, 128, 512, 4096])
+        values = list(curve.values())
+        assert values == sorted(values, reverse=True)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_smoothed_curve_half_at_capacity(self):
+        distances = np.full(1000, 64)
+        curve = smoothed_miss_curve(distances, [64])
+        assert curve[64] == pytest.approx(0.5, abs=0.01)
+
+
+class TestReuseDistances:
+    def test_block_reuse(self):
+        distances = block_reuse_distances(np.array([7, 8, 7, 7]))
+        assert distances.tolist() == [-1, -1, 1, 0]
+
+    def test_set_reuse_maps_to_sets(self):
+        # blocks 0 and 4 share set 0 when n_sets=4.
+        distances = set_reuse_distances(np.array([0, 1, 4]), n_sets=4)
+        assert distances.tolist() == [-1, -1, 1]
+
+    def test_set_reuse_validates(self):
+        with pytest.raises(ValueError):
+            set_reuse_distances(np.array([1]), n_sets=0)
+
+    def test_reduced_sets_shrink_distances(self):
+        """Mapping to fewer sets cannot increase set-reuse distances."""
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 256, size=500)
+        wide = set_reuse_distances(blocks, n_sets=128)
+        narrow = set_reuse_distances(blocks, n_sets=8)
+        warm = (wide >= 0) & (narrow >= 0)
+        assert (narrow[warm] <= wide[warm]).all()

@@ -1,0 +1,236 @@
+"""Tests for the cycle-level out-of-order core."""
+
+import numpy as np
+import pytest
+
+from repro.timing import CycleSimulator, OpClass
+from repro.workloads import Trace
+
+
+def straight_line(n=64, op=OpClass.IALU, dep=0):
+    """n independent (or chained) ops, no branches or memory."""
+    src1 = np.full(n, dep, dtype=np.int32)
+    src1[:dep if dep else 0] = 0
+    idx = np.arange(n, dtype=np.int32)
+    src1 = np.minimum(src1, idx)
+    return Trace(
+        ops=np.full(n, op, dtype=np.uint8),
+        src1=src1,
+        src2=np.zeros(n, dtype=np.int32),
+        addr=np.zeros(n, dtype=np.int64),
+        pc=np.arange(n, dtype=np.int64) * 4,
+        taken=np.zeros(n, dtype=bool),
+    )
+
+
+class TestBasicExecution:
+    def test_all_instructions_commit(self, baseline_config, small_trace):
+        result = CycleSimulator(baseline_config).run(small_trace)
+        assert result.instructions == len(small_trace)
+        assert result.cycles > 0
+
+    def test_independent_ops_reach_width(self, baseline_config):
+        config = baseline_config.with_value("rf_wr_ports", 8).with_value(
+            "rf_rd_ports", 16)
+        result = CycleSimulator(config).run(straight_line(400))
+        assert result.ipc > 0.7 * config.width
+
+    def test_serial_chain_is_serialised(self, baseline_config):
+        result = CycleSimulator(baseline_config).run(straight_line(400, dep=1))
+        assert result.ipc <= 1.1
+
+    def test_deterministic(self, baseline_config, small_trace):
+        a = CycleSimulator(baseline_config).run(small_trace)
+        b = CycleSimulator(baseline_config).run(small_trace)
+        assert a.cycles == b.cycles
+        assert a.activity == b.activity
+
+    def test_narrow_machine_slower(self, small_config, baseline_config,
+                                    small_trace):
+        narrow = CycleSimulator(
+            baseline_config.with_value("width", 2)).run(small_trace)
+        wide = CycleSimulator(
+            baseline_config.with_value("width", 8)).run(small_trace)
+        assert wide.cycles <= narrow.cycles
+
+    def test_ips_accounts_frequency(self, baseline_config, small_trace):
+        fast = CycleSimulator(
+            baseline_config.with_value("depth_fo4", 9)).run(small_trace)
+        slow = CycleSimulator(
+            baseline_config.with_value("depth_fo4", 36)).run(small_trace)
+        assert fast.frequency_ghz == pytest.approx(4 * slow.frequency_ghz)
+        # Shallow clock is 4x slower; cycles don't differ 4x.
+        assert fast.ips > slow.ips
+
+
+class TestStructuralLimits:
+    def test_tiny_rob_hurts(self, baseline_config):
+        # Independent L1-missing loads (footprint >> D-cache) interleaved
+        # with ALU work: only a large in-flight window can overlap the L2
+        # latencies, since in-order commit parks everything behind loads.
+        n = 1600
+        ops = np.full(n, OpClass.IALU, dtype=np.uint8)
+        ops[::4] = OpClass.LOAD
+        addr = np.zeros(n, dtype=np.int64)
+        addr[::4] = (np.arange(len(addr[::4]), dtype=np.int64) % 1200) * 64
+        trace = Trace(ops=ops, src1=np.zeros(n, dtype=np.int32),
+                      src2=np.zeros(n, dtype=np.int32), addr=addr,
+                      pc=np.arange(n, dtype=np.int64) * 4,
+                      taken=np.zeros(n, dtype=bool))
+        config = (baseline_config.with_value("dcache_size", 8 * 1024)
+                  .with_value("lsq_size", 80)
+                  .with_value("rf_wr_ports", 8)
+                  .with_value("rf_rd_ports", 16))
+        big = CycleSimulator(config.with_value("rob_size", 160)).run(trace)
+        tiny = CycleSimulator(config.with_value("rob_size", 32)).run(trace)
+        assert tiny.cycles > 1.1 * big.cycles
+
+    def test_tiny_iq_hurts_parallel_code(self, baseline_config):
+        trace = straight_line(600, dep=8)
+        big = CycleSimulator(baseline_config.with_value(
+            "iq_size", 80)).run(trace)
+        tiny = CycleSimulator(baseline_config.with_value(
+            "iq_size", 8)).run(trace)
+        assert tiny.cycles >= big.cycles
+
+    def test_wr_ports_limit_completion(self, baseline_config):
+        trace = straight_line(400)
+        many = CycleSimulator(baseline_config.with_value(
+            "rf_wr_ports", 8)).run(trace)
+        one = CycleSimulator(baseline_config.with_value(
+            "rf_wr_ports", 1)).run(trace)
+        assert one.cycles > many.cycles
+        # One write port: at most one completion per cycle.
+        assert one.ipc <= 1.05
+
+    def test_rd_ports_limit_issue(self, baseline_config):
+        trace = straight_line(400, dep=3)
+        trace = Trace(ops=trace.ops, src1=trace.src1,
+                      src2=np.minimum(np.full(400, 5, dtype=np.int32),
+                                      np.arange(400, dtype=np.int32)),
+                      addr=trace.addr, pc=trace.pc, taken=trace.taken)
+        many = CycleSimulator(baseline_config.with_value(
+            "rf_rd_ports", 16)).run(trace)
+        few = CycleSimulator(baseline_config.with_value(
+            "rf_rd_ports", 2)).run(trace)
+        assert few.cycles >= many.cycles
+
+    def test_lsq_limits_memory_bursts(self, baseline_config):
+        n = 300
+        trace = straight_line(n, op=OpClass.LOAD)
+        trace = Trace(ops=trace.ops, src1=trace.src1, src2=trace.src2,
+                      addr=(np.arange(n, dtype=np.int64) % 8) * 64 + 0x1000,
+                      pc=trace.pc, taken=trace.taken)
+        big = CycleSimulator(baseline_config.with_value(
+            "lsq_size", 80)).run(trace)
+        tiny = CycleSimulator(baseline_config.with_value(
+            "lsq_size", 8)).run(trace)
+        assert tiny.cycles >= big.cycles
+
+
+class TestBranches:
+    def test_mispredict_rate_reported(self, baseline_config, small_trace):
+        result = CycleSimulator(baseline_config).run(small_trace)
+        assert 0.0 <= result.mispredict_rate < 0.5
+        assert result.branches > 0
+
+    def test_random_branches_cause_squashes(self, baseline_config):
+        n = 2000
+        rng = np.random.default_rng(0)
+        ops = np.full(n, OpClass.IALU, dtype=np.uint8)
+        ops[::5] = OpClass.BRANCH
+        taken = np.zeros(n, dtype=bool)
+        taken[::5] = rng.random(len(taken[::5])) < 0.5  # unpredictable
+        trace = Trace(ops=ops, src1=np.zeros(n, dtype=np.int32),
+                      src2=np.zeros(n, dtype=np.int32),
+                      addr=np.zeros(n, dtype=np.int64),
+                      pc=np.arange(n, dtype=np.int64) * 4, taken=taken)
+        # Warm on a *different* random stream so gshare cannot memorise
+        # the measured sequence through its global history.
+        warm_taken = np.zeros(n, dtype=bool)
+        warm_taken[::5] = rng.random(len(warm_taken[::5])) < 0.5
+        warm = Trace(ops=ops, src1=np.zeros(n, dtype=np.int32),
+                     src2=np.zeros(n, dtype=np.int32),
+                     addr=np.zeros(n, dtype=np.int64),
+                     pc=np.arange(n, dtype=np.int64) * 4, taken=warm_taken)
+        result = CycleSimulator(baseline_config).run(trace, warm_trace=warm)
+        assert result.mispredict_rate > 0.15
+        assert result.squashed > 0
+        assert result.wrong_path_dispatched > 0
+
+    def test_unpredictable_branches_cost_cycles(self, baseline_config):
+        n = 2000
+        ops = np.full(n, OpClass.IALU, dtype=np.uint8)
+        ops[::5] = OpClass.BRANCH
+        base = dict(src1=np.zeros(n, dtype=np.int32),
+                    src2=np.zeros(n, dtype=np.int32),
+                    addr=np.zeros(n, dtype=np.int64),
+                    pc=np.arange(n, dtype=np.int64) * 4)
+        predictable = Trace(ops=ops, taken=np.zeros(n, dtype=bool), **base)
+        rng = np.random.default_rng(1)
+        taken = np.zeros(n, dtype=bool)
+        taken[::5] = rng.random(len(taken[::5])) < 0.5
+        random_trace = Trace(ops=ops, taken=taken, **base)
+        good = CycleSimulator(baseline_config).run(predictable)
+        bad = CycleSimulator(baseline_config).run(random_trace)
+        assert bad.cycles > good.cycles
+
+    def test_branch_limit_throttles_speculation(self, baseline_config):
+        n = 1500
+        ops = np.full(n, OpClass.IALU, dtype=np.uint8)
+        ops[::4] = OpClass.BRANCH
+        trace = Trace(ops=ops, src1=np.zeros(n, dtype=np.int32),
+                      src2=np.zeros(n, dtype=np.int32),
+                      addr=np.zeros(n, dtype=np.int64),
+                      pc=np.arange(n, dtype=np.int64) * 4,
+                      taken=np.zeros(n, dtype=bool))
+        few = CycleSimulator(baseline_config.with_value(
+            "branches", 8)).run(trace)
+        many = CycleSimulator(baseline_config.with_value(
+            "branches", 32)).run(trace)
+        assert few.cycles >= many.cycles
+
+
+class TestMemoryBehaviour:
+    def test_cache_misses_slow_execution(self, baseline_config):
+        n = 600
+        ops = np.full(n, OpClass.LOAD, dtype=np.uint8)
+        hot = Trace(ops=ops, src1=np.zeros(n, dtype=np.int32),
+                    src2=np.zeros(n, dtype=np.int32),
+                    addr=(np.arange(n, dtype=np.int64) % 4) * 64,
+                    pc=np.arange(n, dtype=np.int64) * 4,
+                    taken=np.zeros(n, dtype=bool))
+        # Stride past the whole hierarchy: every access is a fresh block.
+        cold = Trace(ops=ops, src1=np.zeros(n, dtype=np.int32),
+                     src2=np.zeros(n, dtype=np.int32),
+                     addr=np.arange(n, dtype=np.int64) * 64 * 1024 * 5,
+                     pc=np.arange(n, dtype=np.int64) * 4,
+                     taken=np.zeros(n, dtype=bool))
+        fast = CycleSimulator(baseline_config).run(hot)
+        slow = CycleSimulator(baseline_config).run(cold)
+        assert slow.cycles > 2 * fast.cycles
+        assert slow.activity["l2_miss"] > 0
+
+    def test_warmup_avoids_cold_misses(self, baseline_config, small_trace):
+        warm = CycleSimulator(baseline_config).run(small_trace, warm=True)
+        cold = CycleSimulator(baseline_config).run(small_trace, warm=False)
+        assert warm.activity["dcache_miss"] <= cold.activity["dcache_miss"]
+        assert warm.mispredicts <= cold.mispredicts
+
+    def test_activity_accounting_consistency(self, baseline_config,
+                                             small_trace):
+        result = CycleSimulator(baseline_config).run(small_trace)
+        activity = result.activity
+        assert activity["dcache_miss"] <= activity["dcache_access"]
+        assert activity["icache_miss"] <= activity["icache_access"]
+        assert activity["l2_miss"] <= activity["l2_access"]
+        assert activity["l2_access"] == (activity["dcache_miss"]
+                                         + activity["icache_miss"])
+        # Every committed instruction was dispatched at least once.
+        assert activity["rob_write"] >= result.instructions
+        assert activity["rob_read"] == result.instructions
+
+    def test_fp_trace_uses_fp_resources(self, baseline_config, fp_trace):
+        result = CycleSimulator(baseline_config).run(fp_trace)
+        assert result.activity["falu_op"] + result.activity["fmul_op"] > 0
+        assert result.activity["rf_write_fp"] > 0

@@ -1,0 +1,116 @@
+"""Edge-case and stress tests for the cycle-level core."""
+
+import numpy as np
+import pytest
+
+from repro.config import DesignSpace
+from repro.timing import CycleSimulator, OpClass, SimulationError
+from repro.workloads import Trace
+
+
+def trace_of(ops, **overrides):
+    n = len(ops)
+    fields = dict(
+        ops=np.asarray(ops, dtype=np.uint8),
+        src1=np.zeros(n, dtype=np.int32),
+        src2=np.zeros(n, dtype=np.int32),
+        addr=np.zeros(n, dtype=np.int64),
+        pc=np.arange(n, dtype=np.int64) * 4,
+        taken=np.zeros(n, dtype=bool),
+    )
+    fields.update(overrides)
+    for op, addr_needed in ((OpClass.LOAD, True), (OpClass.STORE, True)):
+        mask = fields["ops"] == op
+        if addr_needed and (fields["addr"][mask] == 0).all():
+            fields["addr"] = fields["addr"].copy()
+            fields["addr"][mask] = 0x1000
+    return Trace(**fields)
+
+
+class TestDegenerateTraces:
+    def test_single_instruction(self, baseline_config):
+        result = CycleSimulator(baseline_config).run(
+            trace_of([OpClass.IALU]))
+        assert result.instructions == 1
+
+    def test_all_stores(self, baseline_config):
+        result = CycleSimulator(baseline_config).run(
+            trace_of([OpClass.STORE] * 50))
+        assert result.instructions == 50
+
+    def test_all_loads_same_block(self, baseline_config):
+        result = CycleSimulator(baseline_config).run(
+            trace_of([OpClass.LOAD] * 50))
+        assert result.activity["dcache_miss"] == 0  # warmed single block
+
+    def test_all_branches(self, baseline_config):
+        n = 60
+        taken = np.zeros(n, dtype=bool)
+        taken[::3] = True
+        result = CycleSimulator(baseline_config).run(
+            trace_of([OpClass.BRANCH] * n, taken=taken))
+        assert result.instructions == n
+        assert result.branches == n
+
+    def test_all_fp(self, baseline_config):
+        result = CycleSimulator(baseline_config).run(
+            trace_of([OpClass.FMUL] * 40))
+        assert result.activity["fmul_op"] == 40
+        assert result.activity["rf_write_fp"] >= 40
+
+    def test_dense_dependence_chain_with_two_sources(self, baseline_config):
+        n = 80
+        idx = np.arange(n, dtype=np.int32)
+        trace = trace_of([OpClass.IALU] * n,
+                         src1=np.minimum(1, idx),
+                         src2=np.minimum(2, idx))
+        result = CycleSimulator(baseline_config).run(trace)
+        assert result.ipc <= 1.2
+
+
+class TestExtremeConfigurations:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_configs_complete(self, seed, small_trace):
+        config = DesignSpace(seed=seed).random_configuration()
+        result = CycleSimulator(config).run(small_trace)
+        assert result.instructions == len(small_trace)
+
+    def test_minimum_corner_completes(self, small_config, small_trace):
+        result = CycleSimulator(small_config).run(small_trace)
+        assert result.instructions == len(small_trace)
+
+    def test_maximum_corner_completes(self, profiling_config, small_trace):
+        result = CycleSimulator(profiling_config).run(small_trace)
+        assert result.instructions == len(small_trace)
+
+    def test_progress_guard_raises_eventually(self, baseline_config):
+        """The watchdog fires rather than hanging forever."""
+        simulator = CycleSimulator(baseline_config,
+                                   max_cycles_per_instruction=1)
+        # A pathological trace: every load misses everything, two loads
+        # deep dependence; 1 cycle/instruction budget is unreachable.
+        n = 64
+        trace = trace_of([OpClass.LOAD] * n,
+                         addr=np.arange(n, dtype=np.int64) * 64 * 999_983)
+        with pytest.raises(SimulationError):
+            simulator.run(trace, warm=False)
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_conservation(self, seed, baseline_config, small_trace):
+        config = DesignSpace(seed=100 + seed).random_configuration()
+        result = CycleSimulator(config).run(small_trace)
+        activity = result.activity
+        n = result.instructions
+        # Commit conservation: exactly the trace commits.
+        assert activity["rob_read"] == n
+        # Dispatches >= commits (wrong-path replays inflate them).
+        assert activity["rob_write"] >= n
+        assert activity["iq_write"] == activity["rob_write"]
+        # Issues >= commits, bounded by dispatches.
+        assert n <= activity["iq_select"] <= activity["iq_write"]
+        # Memory ops: every load searches the LSQ exactly once per issue.
+        assert activity["lsq_search"] <= activity["dcache_access"]
+        # Mispredicts never exceed branches.
+        assert result.mispredicts <= result.branches

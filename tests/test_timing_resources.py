@@ -1,0 +1,118 @@
+"""Tests for derived machine parameters."""
+
+import pytest
+
+from repro.timing import OpClass, derive_machine_params
+
+
+class TestClocking:
+    def test_frequency_inverse_of_depth(self, baseline_config):
+        shallow = derive_machine_params(baseline_config.with_value(
+            "depth_fo4", 36))
+        deep = derive_machine_params(baseline_config.with_value(
+            "depth_fo4", 9))
+        assert deep.frequency_ghz == pytest.approx(
+            4 * shallow.frequency_ghz, rel=1e-9)
+
+    def test_deeper_pipeline_has_more_stages(self, baseline_config):
+        deep = derive_machine_params(baseline_config.with_value("depth_fo4", 9))
+        shallow = derive_machine_params(
+            baseline_config.with_value("depth_fo4", 36))
+        assert deep.pipeline_stages > shallow.pipeline_stages
+        assert deep.frontend_stages > shallow.frontend_stages
+
+    def test_deeper_pipeline_pays_bigger_mispredict_penalty(
+            self, baseline_config):
+        deep = derive_machine_params(baseline_config.with_value("depth_fo4", 9))
+        shallow = derive_machine_params(
+            baseline_config.with_value("depth_fo4", 36))
+        assert deep.mispredict_penalty > shallow.mispredict_penalty
+
+    def test_period_frequency_consistent(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.period_ns * params.frequency_ghz == pytest.approx(1.0)
+
+
+class TestLatencies:
+    def test_bigger_cache_not_faster(self, baseline_config):
+        small = derive_machine_params(
+            baseline_config.with_value("dcache_size", 8 * 1024))
+        big = derive_machine_params(
+            baseline_config.with_value("dcache_size", 128 * 1024))
+        assert big.dcache_latency >= small.dcache_latency
+        assert big.structures["dcache"].latency_ns > \
+            small.structures["dcache"].latency_ns
+
+    def test_l2_slower_than_l1(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.l2_latency > params.dcache_latency
+
+    def test_memory_slowest(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.memory_latency > params.l2_latency
+
+    def test_alu_single_cycle_at_moderate_depth(self, baseline_config):
+        params = derive_machine_params(
+            baseline_config.with_value("depth_fo4", 18))
+        assert params.op_latency[OpClass.IALU] == 1
+
+    def test_alu_multi_cycle_when_deep(self, baseline_config):
+        params = derive_machine_params(
+            baseline_config.with_value("depth_fo4", 9))
+        assert params.op_latency[OpClass.IALU] >= 2
+
+    def test_multiplies_slower_than_alu(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.op_latency[OpClass.IMUL] > params.op_latency[OpClass.IALU]
+        assert params.op_latency[OpClass.FMUL] >= params.op_latency[OpClass.FALU]
+
+    def test_fractional_latencies_track_integer(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.dcache_latency_f == pytest.approx(
+            params.dcache_latency, abs=1.0)
+        assert params.dcache_latency_f >= 1.0
+
+
+class TestEnergy:
+    def test_bigger_structures_leak_more(self, baseline_config):
+        small = derive_machine_params(
+            baseline_config.with_value("l2_size", 256 * 1024))
+        big = derive_machine_params(
+            baseline_config.with_value("l2_size", 4 * 1024 * 1024))
+        assert big.structures["l2"].leakage_mw > \
+            4 * small.structures["l2"].leakage_mw
+
+    def test_more_ports_cost_energy(self, baseline_config):
+        few = derive_machine_params(
+            baseline_config.with_value("rf_rd_ports", 2))
+        many = derive_machine_params(
+            baseline_config.with_value("rf_rd_ports", 16))
+        assert many.structures["rf"].read_energy_pj > \
+            few.structures["rf"].read_energy_pj
+
+    def test_wider_machine_burns_more_clock(self, baseline_config):
+        narrow = derive_machine_params(baseline_config.with_value("width", 2))
+        wide = derive_machine_params(baseline_config.with_value("width", 8))
+        assert wide.clock_energy_pj_per_cycle > \
+            3 * narrow.clock_energy_pj_per_cycle
+
+    def test_total_leakage_sums_structures(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.total_leakage_mw == pytest.approx(
+            sum(s.leakage_mw for s in params.structures.values()))
+
+    def test_execution_resources_scale_with_width(self, baseline_config):
+        wide = derive_machine_params(baseline_config.with_value("width", 8))
+        assert wide.int_alus == 8
+        assert wide.mem_ports == 4
+        assert wide.fp_units == 4
+
+    def test_params_cached(self, baseline_config):
+        assert derive_machine_params(baseline_config) is \
+            derive_machine_params(baseline_config)
+
+    def test_cycles_for_ns(self, baseline_config):
+        params = derive_machine_params(baseline_config)
+        assert params.cycles_for_ns(params.period_ns) == 1
+        assert params.cycles_for_ns(10 * params.period_ns) == 10
+        assert params.cycles_for_ns(0.01) == 1

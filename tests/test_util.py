@@ -1,0 +1,24 @@
+"""Tests for shared utilities."""
+
+from repro.util import stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, "b") == stable_hash("a", 1, "b")
+
+    def test_distinguishes_inputs(self):
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+    def test_non_negative_and_bounded(self):
+        for value in ("x", ("t", 3), 12345):
+            h = stable_hash(value)
+            assert 0 <= h < 2**32
+
+    def test_bits_parameter(self):
+        assert 0 <= stable_hash("x", bits=16) < 2**16
+        assert 0 <= stable_hash("x", bits=64) < 2**64
+
+    def test_order_matters(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")

@@ -1,0 +1,110 @@
+"""Tests for Program and schedule construction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Program, make_schedule
+
+
+class TestMakeSchedule:
+    def test_length(self):
+        assert len(make_schedule(4, 50)) == 50
+
+    def test_all_phases_referenced_eventually(self):
+        schedule = make_schedule(5, 200, mean_segment=8, seed=1)
+        assert set(schedule) == set(range(5))
+
+    def test_segments_have_geometric_lengths(self):
+        schedule = make_schedule(3, 500, mean_segment=10, seed=2)
+        lengths = []
+        run = 1
+        for previous, current in zip(schedule, schedule[1:]):
+            if current == previous:
+                run += 1
+            else:
+                lengths.append(run)
+                run = 1
+        assert 4 < np.mean(lengths) < 25
+
+    def test_phases_revisit(self):
+        schedule = make_schedule(3, 400, mean_segment=5, seed=3)
+        first_seen = {p: schedule.index(p) for p in set(schedule)}
+        last_seen = {p: len(schedule) - 1 - schedule[::-1].index(p)
+                     for p in set(schedule)}
+        assert any(last_seen[p] > first_seen[p] + 20 for p in first_seen)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_schedule(0, 10)
+        with pytest.raises(ValueError):
+            make_schedule(3, 0)
+
+    def test_deterministic(self):
+        assert make_schedule(4, 60, seed=9) == make_schedule(4, 60, seed=9)
+
+
+class TestProgram:
+    @pytest.fixture
+    def program(self, int_spec, fp_spec):
+        return Program(
+            name="toy",
+            phase_specs=(int_spec, fp_spec),
+            schedule=(0, 0, 1, 1, 0, 1),
+            interval_length=400,
+            seed=5,
+        )
+
+    def test_basic_counts(self, program):
+        assert program.n_intervals == 6
+        assert program.n_phases == 2
+
+    def test_interval_trace_length(self, program):
+        assert len(program.interval_trace(0)) == 400
+
+    def test_interval_determinism(self, program, int_spec, fp_spec):
+        again = Program(name="toy", phase_specs=(int_spec, fp_spec),
+                        schedule=(0, 0, 1, 1, 0, 1), interval_length=400,
+                        seed=5)
+        a = program.interval_trace(3)
+        b = again.interval_trace(3)
+        assert (a.ops == b.ops).all() and (a.addr == b.addr).all()
+
+    def test_same_phase_different_intervals_differ(self, program):
+        a = program.interval_trace(0)
+        b = program.interval_trace(1)
+        assert not ((a.taken == b.taken).all() and (a.addr == b.addr).all())
+
+    def test_same_phase_shares_static_code(self, program):
+        a = program.interval_trace(0)  # phase 0
+        b = program.interval_trace(4)  # phase 0 again
+        assert set(np.unique(a.pc)) & set(np.unique(b.pc))
+
+    def test_different_phases_have_different_behaviour(self, program):
+        int_trace = program.interval_trace(0)
+        fp_trace = program.interval_trace(2)
+        assert fp_trace.is_fp.mean() > int_trace.is_fp.mean()
+
+    def test_phase_trace_uses_phase_spec(self, program):
+        trace = program.phase_trace(1, length=600)
+        assert len(trace) == 600
+        assert trace.is_fp.mean() > 0.1
+
+    def test_true_phase_of(self, program):
+        assert program.true_phase_of(2) == 1
+
+    def test_out_of_range_rejected(self, program):
+        with pytest.raises(ValueError):
+            program.interval_trace(6)
+        with pytest.raises(ValueError):
+            program.phase_trace(2)
+
+    def test_validation(self, int_spec):
+        with pytest.raises(ValueError):
+            Program(name="bad", phase_specs=(), schedule=(0,),
+                    interval_length=100)
+        with pytest.raises(ValueError):
+            Program(name="bad", phase_specs=(int_spec,), schedule=(1,),
+                    interval_length=100)
+        with pytest.raises(ValueError):
+            Program(name="bad", phase_specs=(int_spec,), schedule=(0,),
+                    interval_length=2)

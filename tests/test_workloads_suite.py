@@ -1,0 +1,108 @@
+"""Tests for the synthetic SPEC CPU 2000 suite."""
+
+import pytest
+
+from repro.workloads import (
+    SPEC2000_NAMES,
+    build_program,
+    spec2000_suite,
+)
+
+
+class TestSuiteComposition:
+    def test_26_benchmarks(self):
+        assert len(spec2000_suite()) == 26
+        assert len(SPEC2000_NAMES) == 26
+
+    def test_canonical_members_present(self):
+        for name in ("gzip", "gcc", "mcf", "crafty", "eon", "vortex",
+                     "swim", "mgrid", "applu", "art", "equake", "lucas",
+                     "galgel", "apsi"):
+            assert name in SPEC2000_NAMES
+
+    def test_int_fp_split(self):
+        suite = spec2000_suite()
+        assert sum(1 for p in suite if not p.is_fp) == 12  # CINT2000
+        assert sum(1 for p in suite if p.is_fp) == 14  # CFP2000
+
+    def test_subset_selection(self):
+        subset = spec2000_suite(("mcf", "swim"))
+        assert [p.name for p in subset] == ["mcf", "swim"]
+
+    def test_unknown_subset_raises(self):
+        with pytest.raises(KeyError):
+            spec2000_suite(("mcf", "hmmer"))
+
+    def test_characters(self):
+        by_name = {p.name: p for p in spec2000_suite()}
+        # mcf: pointer chasing, memory bound, large phase variation.
+        assert by_name["mcf"].base.footprint_blocks > 20_000
+        assert by_name["mcf"].base.scatter_frac > 0.2
+        assert by_name["mcf"].variation > 0.7
+        # eon and lucas barely change phase behaviour (paper section VI-B).
+        assert by_name["eon"].variation < 0.2
+        assert by_name["lucas"].variation < 0.2
+        # swim streams FP data.
+        assert by_name["swim"].base.streaming_frac > 0.4
+        assert by_name["swim"].base.fp_frac > 0.5
+        # gcc has a large code footprint.
+        assert by_name["gcc"].base.code_blocks > 1000
+
+
+class TestPhaseSpecs:
+    def test_phase_count(self):
+        profile = spec2000_suite(("galgel",))[0]
+        specs = profile.phase_specs(10)
+        assert len(specs) == 10
+
+    def test_phase_names_unique(self):
+        profile = spec2000_suite(("gap",))[0]
+        names = [s.name for s in profile.phase_specs(10)]
+        assert len(set(names)) == 10
+
+    def test_deterministic(self):
+        profile = spec2000_suite(("gap",))[0]
+        assert profile.phase_specs(5) == profile.phase_specs(5)
+
+    def test_variation_scales_spread(self):
+        suite = {p.name: p for p in spec2000_suite()}
+        wild = suite["galgel"].phase_specs(10)
+        calm = suite["eon"].phase_specs(10)
+
+        def spread(specs):
+            fps = [s.footprint_blocks for s in specs]
+            return max(fps) / min(fps)
+
+        assert spread(wild) > spread(calm)
+
+    def test_invalid_count(self):
+        profile = spec2000_suite(("gap",))[0]
+        with pytest.raises(ValueError):
+            profile.phase_specs(0)
+
+
+class TestBuildProgram:
+    def test_build_dimensions(self):
+        profile = spec2000_suite(("parser",))[0]
+        program = build_program(profile, n_phases=4, n_intervals=30,
+                                interval_length=500)
+        assert program.n_phases == 4
+        assert program.n_intervals == 30
+        assert program.interval_length == 500
+        assert program.name == "parser"
+
+    def test_deterministic_across_calls(self):
+        profile = spec2000_suite(("parser",))[0]
+        a = build_program(profile, n_phases=3, n_intervals=10,
+                          interval_length=300, seed=1)
+        b = build_program(profile, n_phases=3, n_intervals=10,
+                          interval_length=300, seed=1)
+        assert a.schedule == b.schedule
+        assert (a.interval_trace(4).ops == b.interval_trace(4).ops).all()
+
+    def test_all_benchmarks_generate(self):
+        for profile in spec2000_suite():
+            program = build_program(profile, n_phases=2, n_intervals=4,
+                                    interval_length=200, seed=3)
+            trace = program.interval_trace(0)
+            assert len(trace) == 200

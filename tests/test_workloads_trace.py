@@ -1,0 +1,91 @@
+"""Tests for the Trace structure."""
+
+import numpy as np
+import pytest
+
+from repro.timing import OpClass
+from repro.workloads import Trace
+
+
+def make_trace(n=16, **overrides):
+    fields = dict(
+        ops=np.full(n, OpClass.IALU, dtype=np.uint8),
+        src1=np.zeros(n, dtype=np.int32),
+        src2=np.zeros(n, dtype=np.int32),
+        addr=np.zeros(n, dtype=np.int64),
+        pc=np.arange(n, dtype=np.int64) * 4,
+        taken=np.zeros(n, dtype=bool),
+    )
+    fields.update(overrides)
+    return Trace(**fields)
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(make_trace(32)) == 32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(8, src1=np.zeros(7, dtype=np.int32))
+
+    def test_negative_dependences_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(8, src1=np.full(8, -1, dtype=np.int32))
+
+    def test_arrays_become_readonly(self):
+        trace = make_trace(8)
+        with pytest.raises(ValueError):
+            trace.ops[0] = OpClass.LOAD
+
+
+class TestDerivedViews:
+    def test_mix_sums_to_one(self, small_trace):
+        assert sum(small_trace.op_mix().values()) == pytest.approx(1.0)
+
+    def test_is_mem_is_union(self, small_trace):
+        expected = small_trace.is_load | small_trace.is_store
+        assert (small_trace.is_mem == expected).all()
+
+    def test_branch_count(self):
+        ops = np.full(10, OpClass.IALU, dtype=np.uint8)
+        ops[3] = OpClass.BRANCH
+        ops[7] = OpClass.BRANCH
+        assert make_trace(10, ops=ops).branch_count == 2
+
+    def test_is_fp(self):
+        ops = np.array([OpClass.FALU, OpClass.FMUL, OpClass.IALU],
+                       dtype=np.uint8)
+        trace = make_trace(3, ops=ops)
+        assert trace.is_fp.tolist() == [True, True, False]
+
+
+class TestSlicing:
+    def test_slice_length(self, small_trace):
+        assert len(small_trace.slice(100, 300)) == 200
+
+    def test_slice_clips_crossing_dependences(self):
+        src1 = np.zeros(10, dtype=np.int32)
+        src1[5] = 5  # depends on instruction 0
+        src1[6] = 1  # depends on instruction 5 (inside)
+        sliced = make_trace(10, src1=src1).slice(5, 10)
+        assert sliced.src1[0] == 0  # clipped: reached before the slice
+        assert sliced.src1[1] == 1  # preserved
+
+    def test_slice_bounds_checked(self, small_trace):
+        with pytest.raises(ValueError):
+            small_trace.slice(10, 5)
+        with pytest.raises(ValueError):
+            small_trace.slice(0, len(small_trace) + 1)
+
+    def test_concatenate(self, small_trace):
+        joined = Trace.concatenate([small_trace.slice(0, 100),
+                                    small_trace.slice(100, 250)])
+        assert len(joined) == 250
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trace.concatenate([])
