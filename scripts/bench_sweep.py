@@ -1,0 +1,202 @@
+"""Benchmark the batch configuration-evaluation engine and the pipeline.
+
+Times three things and writes them to ``BENCH_sweep.json`` so the perf
+trajectory is tracked from PR to PR:
+
+1. **scalar** — the seed's per-config ``IntervalEvaluator`` loop over a
+   random pool (the V-C stage-1 shape);
+2. **batch** — the same pool through ``BatchIntervalEvaluator`` in one
+   vectorized pass, including the batch/scalar equivalence error;
+3. **pipeline** — end-to-end ``ExperimentPipeline`` wall time into a
+   fresh cache (quick scale), serial and with ``--workers`` fan-out.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sweep.py            # full (1000 configs)
+    PYTHONPATH=src python scripts/bench_sweep.py --smoke    # CI-sized
+
+Outside ``--smoke`` the script exits non-zero unless the batch engine is
+>= 10x the scalar loop and agrees with it to 1e-9 relative tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config.space import DesignSpace
+from repro.experiments.datastore import DataStore
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.scale import ReproScale
+from repro.timing.batch import BatchIntervalEvaluator
+from repro.timing.characterize import characterize
+from repro.timing.interval import IntervalEvaluator
+from repro.timing.resources import derive_machine_params
+from repro.workloads.generator import PhaseSpec, TraceGenerator
+
+REQUIRED_SPEEDUP = 10.0
+REQUIRED_RTOL = 1e-9
+
+
+def _characterization(trace_length: int):
+    spec = PhaseSpec(
+        name="bench-int", load_frac=0.24, store_frac=0.10, branch_frac=0.14,
+        ilp_mean=8.0, serial_frac=0.3, footprint_blocks=600,
+        reuse_alpha=1.5, code_blocks=60,
+    )
+    generator = TraceGenerator(spec)
+    return characterize(
+        generator.generate(trace_length, stream_seed=1),
+        warm_trace=generator.generate(trace_length, stream_seed=2),
+    )
+
+
+def bench_evaluators(pool_size: int, trace_length: int, repeats: int) -> dict:
+    char = _characterization(trace_length)
+    pool = DesignSpace(seed=7).random_sample(pool_size)
+    scalar = IntervalEvaluator()
+    batch = BatchIntervalEvaluator()
+
+    # Cold machine-params cache for both paths: the comparison is the
+    # engine, not the memoization.
+    scalar_seconds = []
+    for _ in range(repeats):
+        derive_machine_params.cache_clear()
+        t0 = time.perf_counter()
+        scalar_results = [scalar.evaluate(char, config) for config in pool]
+        scalar_seconds.append(time.perf_counter() - t0)
+
+    batch_seconds = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batch_results = batch.evaluate_many(char, pool)
+        batch_seconds.append(time.perf_counter() - t0)
+
+    max_rel_err = 0.0
+    for a, b in zip(scalar_results, batch_results):
+        for field in ("cycles", "time_ns", "energy_pj", "efficiency"):
+            va, vb = getattr(a, field), getattr(b, field)
+            max_rel_err = max(max_rel_err, abs(va - vb) / abs(va))
+
+    t_scalar = min(scalar_seconds)
+    t_batch = min(batch_seconds)
+    return {
+        "pool_size": pool_size,
+        "scalar": {
+            "seconds": t_scalar,
+            "configs_per_sec": pool_size / t_scalar,
+        },
+        "batch": {
+            "seconds": t_batch,
+            "configs_per_sec": pool_size / t_batch,
+        },
+        "speedup": t_scalar / t_batch,
+        "max_rel_err": max_rel_err,
+    }
+
+
+def bench_pipeline(scale: ReproScale, workers: int) -> dict:
+    def run(n_workers: int) -> float:
+        with tempfile.TemporaryDirectory() as directory:
+            pipeline = ExperimentPipeline(
+                scale, store=DataStore(directory), workers=n_workers
+            )
+            t0 = time.perf_counter()
+            pipeline.all_phase_data
+            return time.perf_counter() - t0
+
+    result = {
+        "scale": scale.tag,
+        "phases": len(scale.benchmarks or ()) * scale.n_phases or None,
+        "serial_seconds": run(1),
+    }
+    if workers > 1:
+        result[f"workers{workers}_seconds"] = run(workers)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    def positive(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pool-size", type=positive, default=1000,
+                        help="stage-1 pool size to price (default 1000)")
+    parser.add_argument("--trace-length", type=positive, default=8000)
+    parser.add_argument("--repeats", type=positive, default=3,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the pipeline fan-out timing")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small sizes, no speedup gate "
+                             "(equivalence is still enforced)")
+    parser.add_argument("--skip-pipeline", action="store_true")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.pool_size = min(args.pool_size, 128)
+        args.trace_length = min(args.trace_length, 2000)
+        args.repeats = 1
+
+    evaluators = bench_evaluators(
+        args.pool_size, args.trace_length, args.repeats
+    )
+    print(
+        f"scalar: {evaluators['scalar']['configs_per_sec']:,.0f} configs/s   "
+        f"batch: {evaluators['batch']['configs_per_sec']:,.0f} configs/s   "
+        f"speedup: {evaluators['speedup']:.1f}x   "
+        f"max rel err: {evaluators['max_rel_err']:.2e}"
+    )
+
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "evaluators": evaluators,
+    }
+
+    if not args.skip_pipeline:
+        scale = ReproScale.quick()
+        if args.smoke:
+            scale = scale.with_(benchmarks=("mcf", "swim"), n_phases=2,
+                                phase_trace_length=1000, pool_size=8,
+                                neighbour_count=4)
+        pipeline = bench_pipeline(scale, args.workers)
+        report["pipeline"] = pipeline
+        print(f"pipeline ({pipeline['scale']}): "
+              f"{pipeline['serial_seconds']:.1f}s serial"
+              + (f", {pipeline[f'workers{args.workers}_seconds']:.1f}s "
+                 f"on {args.workers} workers" if args.workers > 1 else ""))
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if evaluators["max_rel_err"] > REQUIRED_RTOL:
+        failures.append(
+            f"batch/scalar divergence {evaluators['max_rel_err']:.2e} "
+            f"> {REQUIRED_RTOL}"
+        )
+    if not args.smoke and evaluators["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"speedup {evaluators['speedup']:.1f}x < {REQUIRED_SPEEDUP}x"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ store: results are keyed by a human-readable tag (hashed to a filename)
 and recomputed only when missing.
 
 Pickles are written atomically (temp file + rename) so an interrupted run
-never leaves a corrupt cache entry.
+never leaves a corrupt cache entry; entries corrupted by other means
+(truncated copies, stale class paths after a refactor) are treated as
+misses — deleted and recomputed — rather than poisoning every later run.
 """
 
 from __future__ import annotations
@@ -23,6 +25,18 @@ __all__ = ["DataStore"]
 
 T = TypeVar("T")
 
+#: Errors that mean "this cache entry is unusable": truncated or garbled
+#: bytes (UnpicklingError, EOFError, ValueError) or pickles that reference
+#: classes/modules that no longer unpickle after a refactor.
+_CORRUPT_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    ValueError,
+    AttributeError,
+    ImportError,
+    IndexError,
+)
+
 
 class DataStore:
     """Pickle cache under a directory (default ``.repro_cache/``)."""
@@ -34,6 +48,7 @@ class DataStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode()).hexdigest()[:32]
@@ -42,17 +57,28 @@ class DataStore:
     def contains(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def _load(self, path: Path) -> object:
+        """Unpickle ``path``, deleting it and raising ``KeyError`` if the
+        entry is corrupt (truncated, garbled, or no longer unpicklable)."""
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except _CORRUPT_ERRORS as error:
+            path.unlink(missing_ok=True)
+            self.corruptions += 1
+            raise KeyError(f"corrupt cache entry {path.name}: {error}") from error
+
     def get(self, key: str) -> object:
         """Load a cached value.
 
         Raises:
-            KeyError: if the key has no cached value.
+            KeyError: if the key has no cached value (a corrupt entry counts
+                as absent and is deleted).
         """
         path = self._path(key)
         if not path.exists():
             raise KeyError(key)
-        with path.open("rb") as handle:
-            return pickle.load(handle)
+        return self._load(path)
 
     def put(self, key: str, value: object) -> None:
         """Store ``value`` under ``key`` (atomic replace)."""
@@ -69,12 +95,16 @@ class DataStore:
 
     def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
         """Return the cached value for ``key``, computing and storing it
-        on first use."""
+        on first use.  A corrupt entry is deleted and recomputed."""
         path = self._path(key)
         if path.exists():
-            self.hits += 1
-            with path.open("rb") as handle:
-                return pickle.load(handle)
+            try:
+                value = self._load(path)
+            except KeyError:
+                pass  # corrupt: fall through to recompute and re-store
+            else:
+                self.hits += 1
+                return value
         self.misses += 1
         value = compute()
         self.put(key, value)

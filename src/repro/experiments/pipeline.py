@@ -13,13 +13,22 @@ Orchestrates the whole reproduction for a given
 6. train and cross-validate the predictor (leave-one-program-out).
 
 Every expensive step is cached in a :class:`DataStore`, so figures re-run
-from disk instantly.
+from disk instantly.  Per-phase work (profile + characterize + sweep) is
+independent across phases, so :meth:`ExperimentPipeline.prefetch_phases`
+can fan it out over a ``ProcessPoolExecutor``: workers write through the
+(atomic) store and the parent then re-reads pure cache hits.  Set the
+``REPRO_WORKERS`` environment variable (or the ``workers`` constructor
+argument) to enable the fan-out; the default of 1 keeps everything
+in-process.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -41,8 +50,8 @@ from repro.experiments.scale import ReproScale
 from repro.experiments.sweeps import run_phase_sweep
 from repro.model.crossval import PhaseRecord, leave_one_program_out
 from repro.power.metrics import EfficiencyResult
+from repro.timing.batch import BatchIntervalEvaluator
 from repro.timing.characterize import TraceCharacterization, characterize
-from repro.timing.interval import IntervalEvaluator
 from repro.util import stable_hash
 from repro.workloads.program import Program
 from repro.workloads.suite import build_program, spec2000_suite
@@ -88,11 +97,15 @@ class ExperimentPipeline:
         scale: ReproScale | None = None,
         store: DataStore | None = None,
         verbose: bool = False,
+        workers: int | None = None,
     ) -> None:
         self.scale = scale or ReproScale.default()
         self.store = store or DataStore()
         self.verbose = verbose
-        self.evaluator = IntervalEvaluator()
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        self.workers = max(1, workers)
+        self.evaluator = BatchIntervalEvaluator()
         self._extra_evaluations: dict[PhaseKey, dict[MicroarchConfig,
                                                      EfficiencyResult]] = {}
 
@@ -144,8 +157,11 @@ class ExperimentPipeline:
 
     # -- per-phase data -------------------------------------------------------------
 
+    def _phase_cache_key(self, program: str, phase_id: int) -> str:
+        return f"{self.scale.tag}/phase/{program}/{phase_id}"
+
     def phase_data(self, program: str, phase_id: int) -> PhaseData:
-        key = f"{self.scale.tag}/phase/{program}/{phase_id}"
+        key = self._phase_cache_key(program, phase_id)
 
         def compute() -> PhaseData:
             self._log(f"profiling + sweeping {program} phase {phase_id}")
@@ -174,8 +190,52 @@ class ExperimentPipeline:
 
         return self.store.get_or_compute(key, compute)
 
+    def prefetch_phases(
+        self,
+        keys: Iterable[PhaseKey] | None = None,
+        workers: int | None = None,
+    ) -> list[PhaseKey]:
+        """Compute every missing phase cache entry, fanned out over processes.
+
+        Each worker process runs the full profile → characterize → sweep
+        chain for one phase and writes the result through the store's
+        atomic ``put``; the parent then only re-reads cache hits.  Returns
+        the keys that were actually computed (missing before the call).
+
+        Args:
+            keys: phases to prefetch (default: all of ``phase_keys``).
+            workers: process count; defaults to the pipeline's ``workers``
+                (the ``REPRO_WORKERS`` environment variable).  With one
+                worker the phases are computed serially in-process.
+        """
+        keys = list(keys) if keys is not None else self.phase_keys
+        missing = [
+            key for key in keys
+            if not self.store.contains(self._phase_cache_key(*key))
+        ]
+        if not missing:
+            return []
+        workers = self.workers if workers is None else max(1, workers)
+        workers = min(workers, len(missing))
+        if workers <= 1:
+            for key in missing:
+                self.phase_data(*key)
+            return missing
+        self._log(f"prefetching {len(missing)} phases on {workers} workers")
+        store_dir = str(self.store.directory)
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(_phase_worker, self.scale, store_dir, *key)
+                for key in missing
+            ]
+            for future in as_completed(futures):
+                future.result()  # surface worker failures immediately
+        return missing
+
     @cached_property
     def all_phase_data(self) -> dict[PhaseKey, PhaseData]:
+        if self.workers > 1:
+            self.prefetch_phases()
         return {
             key: self.phase_data(*key) for key in self.phase_keys
         }
@@ -306,3 +366,25 @@ class ExperimentPipeline:
     def per_program_assignment(self) -> dict[PhaseKey, MicroarchConfig]:
         statics = self.per_program_static
         return {key: statics[key[0]] for key in self.phase_keys}
+
+
+#: Per-worker-process pipeline, kept alive between tasks so the synthetic
+#: suite and shared pool are built once per process, not once per phase.
+_WORKER_PIPELINE: ExperimentPipeline | None = None
+
+
+def _phase_worker(
+    scale: ReproScale, store_dir: str, program: str, phase_id: int
+) -> PhaseKey:
+    """Compute one phase in a worker process, writing through the store."""
+    global _WORKER_PIPELINE
+    if (
+        _WORKER_PIPELINE is None
+        or _WORKER_PIPELINE.scale != scale
+        or str(_WORKER_PIPELINE.store.directory) != store_dir
+    ):
+        _WORKER_PIPELINE = ExperimentPipeline(
+            scale, store=DataStore(store_dir), workers=1
+        )
+    _WORKER_PIPELINE.phase_data(program, phase_id)
+    return (program, phase_id)

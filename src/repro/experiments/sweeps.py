@@ -6,16 +6,23 @@ of everything seen, then sweep each parameter one at a time through all
 its values.  At paper scale this is 1000 + 200 + 98 = 1,298 evaluations
 per phase; the sizes come from the active
 :class:`~repro.experiments.scale.ReproScale`.
+
+Each of the three stages is priced as one deduplicated batch through the
+vectorized :class:`~repro.timing.batch.BatchIntervalEvaluator`; passing a
+plain :class:`~repro.timing.interval.IntervalEvaluator` (or any object
+with only a scalar ``evaluate``) falls back to a per-config loop with
+identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.config.configuration import MicroarchConfig
 from repro.config.space import DesignSpace
 from repro.power.metrics import EfficiencyResult
+from repro.timing.batch import BatchIntervalEvaluator, CharTables
 from repro.timing.characterize import TraceCharacterization
 from repro.timing.interval import IntervalEvaluator
 
@@ -55,33 +62,37 @@ def run_phase_sweep(
         neighbour_count: stage 2 size (paper: 200).
         seed: seed for the neighbour sampling.
         evaluator: configuration evaluator (default
-            :class:`IntervalEvaluator`).
+            :class:`BatchIntervalEvaluator`; a scalar-only evaluator is
+            driven one config at a time).
     """
     if not pool:
         raise ValueError("pool must not be empty")
-    evaluator = evaluator or IntervalEvaluator()
+    evaluator = evaluator or BatchIntervalEvaluator()
     space = DesignSpace(seed=seed)
     evaluations: dict[MicroarchConfig, EfficiencyResult] = {}
+    tables = CharTables(char) if hasattr(evaluator, "evaluate_many") else None
 
-    def evaluate(config: MicroarchConfig) -> EfficiencyResult:
-        result = evaluations.get(config)
-        if result is None:
-            result = evaluator.evaluate(char, config)
-            evaluations[config] = result
-        return result
+    def evaluate_stage(configs: Iterable[MicroarchConfig]) -> None:
+        """Price every not-yet-seen config, deduplicated, in one batch."""
+        fresh = [c for c in dict.fromkeys(configs) if c not in evaluations]
+        if not fresh:
+            return
+        if tables is not None:
+            results = evaluator.evaluate_many(char, fresh, tables=tables)
+        else:
+            results = [evaluator.evaluate(char, c) for c in fresh]
+        evaluations.update(zip(fresh, results))
+
+    def best_so_far() -> MicroarchConfig:
+        return max(evaluations, key=lambda c: evaluations[c].efficiency)
 
     # Stage 1: shared uniform random pool.
-    for config in pool:
-        evaluate(config)
-    best = max(evaluations, key=lambda c: evaluations[c].efficiency)
+    evaluate_stage(pool)
 
     # Stage 2: random local neighbours of the pool best.
-    for config in space.random_neighbours(best, neighbour_count):
-        evaluate(config)
-    best = max(evaluations, key=lambda c: evaluations[c].efficiency)
+    evaluate_stage(space.random_neighbours(best_so_far(), neighbour_count))
 
     # Stage 3: one-at-a-time sweep around the overall best.
-    for config in space.one_at_a_time(best):
-        evaluate(config)
+    evaluate_stage(space.one_at_a_time(best_so_far()))
 
     return PhaseSweep(evaluations=evaluations)

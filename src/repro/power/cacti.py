@@ -23,7 +23,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["ArrayGeometry", "CactiModel"]
+import numpy as np
+
+__all__ = ["ArrayGeometry", "ArrayCosts", "CactiModel"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,22 @@ class ArrayGeometry:
     @property
     def ports(self) -> int:
         return self.read_ports + self.write_ports
+
+
+@dataclass(frozen=True)
+class ArrayCosts:
+    """Vectorized costs of one structure across a batch of geometries.
+
+    Every field is a float64 array with one entry per configuration in the
+    batch; values are elementwise identical to the scalar
+    :class:`CactiModel` methods.
+    """
+
+    latency_ns: np.ndarray
+    read_energy_pj: np.ndarray
+    write_energy_pj: np.ndarray
+    leakage_mw: np.ndarray
+    transistors: np.ndarray
 
 
 class CactiModel:
@@ -105,9 +123,11 @@ class CactiModel:
     def access_latency_ns(self, geometry: ArrayGeometry) -> float:
         """Read access time in nanoseconds."""
         bits = geometry.total_bits
+        # np.log2 (not math.log2) so the scalar and batch paths are bitwise
+        # identical: the two libm implementations can differ by one ulp.
         latency = (
             self.T_BASE_NS
-            + self.T_DECODE_NS * math.log2(bits)
+            + self.T_DECODE_NS * float(np.log2(bits))
             + self.T_WIRE_NS
             * math.sqrt(bits)
             * self._port_scale(geometry, self.T_PORT_FACTOR)
@@ -153,3 +173,57 @@ class CactiModel:
             geometry.ports - 1
         )
         return per_bit * geometry.total_bits
+
+    # -- batch (vectorized) path ------------------------------------------
+
+    def batch_costs(
+        self,
+        entries: np.ndarray,
+        entry_bits: int,
+        read_ports: np.ndarray | int = 1,
+        write_ports: np.ndarray | int = 1,
+        is_cam: bool = False,
+        tag_bits: int = 0,
+    ) -> ArrayCosts:
+        """Costs of one structure for a whole batch of configurations.
+
+        Elementwise equivalent of the scalar methods: each argument is a
+        scalar or an array over the batch, and every operation mirrors the
+        scalar formulas term for term so the results agree bitwise.
+        """
+        entries = np.asarray(entries, dtype=np.float64)
+        ports = np.asarray(read_ports, dtype=np.float64) + np.asarray(
+            write_ports, dtype=np.float64
+        )
+        total_bits = entries * (entry_bits + (tag_bits if is_cam else 0))
+        sqrt_bits = np.sqrt(total_bits)
+
+        def port_scale(factor: float) -> np.ndarray:
+            return 1.0 + factor * (ports - 1)
+
+        latency = (
+            self.T_BASE_NS
+            + self.T_DECODE_NS * np.log2(total_bits)
+            + self.T_WIRE_NS * sqrt_bits * port_scale(self.T_PORT_FACTOR)
+        )
+        base_energy = (
+            self.E_BITLINE_PJ * sqrt_bits + self.E_SENSE_PJ_PER_BIT * entry_bits
+        )
+        read = base_energy * port_scale(self.E_PORT_FACTOR)
+        write = self.E_WRITE_FACTOR * base_energy * port_scale(self.E_PORT_FACTOR)
+        if is_cam:
+            latency = latency + self.T_CAM_NS_PER_ENTRY * entries
+            read = read + self.E_CAM_PJ_PER_TAGBIT * entries * tag_bits
+        leakage = (
+            self.LEAK_MW_PER_BIT * total_bits * port_scale(self.LEAK_PORT_FACTOR)
+        )
+        per_bit = self.TRANSISTORS_PER_BIT + self.TRANSISTORS_PER_EXTRA_PORT_BIT * (
+            ports - 1
+        )
+        return ArrayCosts(
+            latency_ns=latency,
+            read_energy_pj=read,
+            write_energy_pj=write,
+            leakage_mw=leakage,
+            transistors=per_bit * total_bits,
+        )

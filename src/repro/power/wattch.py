@@ -14,10 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-if TYPE_CHECKING:  # import at runtime would be circular (timing uses cacti)
-    from repro.timing.resources import MachineParams
+import numpy as np
 
-__all__ = ["PowerReport", "account"]
+if TYPE_CHECKING:  # import at runtime would be circular (timing uses cacti)
+    from repro.timing.resources import BatchMachineParams, MachineParams
+
+__all__ = ["PowerReport", "BatchPowerReport", "account", "account_batch"]
 
 #: Maps activity keys to (structure, kind) where kind selects read or write
 #: energy.  ALU ops are priced separately.
@@ -126,4 +128,68 @@ def account(
         leakage_pj=leakage,
         clock_pj=clock,
         per_structure_pj=per_structure,
+    )
+
+
+@dataclass(frozen=True)
+class BatchPowerReport:
+    """Energy of a batch of runs; each field has one entry per run."""
+
+    time_ns: np.ndarray
+    dynamic_pj: np.ndarray
+    leakage_pj: np.ndarray
+    clock_pj: np.ndarray
+
+    @property
+    def total_pj(self) -> np.ndarray:
+        return self.dynamic_pj + self.leakage_pj + self.clock_pj
+
+    @property
+    def power_watts(self) -> np.ndarray:
+        return np.where(
+            self.time_ns > 0, self.total_pj / self.time_ns * 1e-3, 0.0
+        )
+
+
+def account_batch(
+    activity: dict[str, np.ndarray],
+    params: "BatchMachineParams",
+    cycles: np.ndarray,
+) -> BatchPowerReport:
+    """Vectorized :func:`account`: price one activity *array* per key.
+
+    Elementwise equivalent of calling :func:`account` per configuration.
+    The per-key energies are accumulated in the activity dictionary's
+    insertion order, matching the scalar loop's float accumulation, so a
+    batch built with the same key order as the scalar activity dictionary
+    prices bitwise identically.
+    """
+    from repro.timing.resources import ALU_ENERGY_PJ
+
+    dynamic = np.zeros(params.size)
+    for key, counts in activity.items():
+        if key in _ALU_KEYS:
+            energy = ALU_ENERGY_PJ[_ALU_KEYS[key]] * counts
+        elif key in _ACTIVITY_STRUCTURE:
+            name, kind = _ACTIVITY_STRUCTURE[key]
+            costs = params.structures[name]
+            per_access = (
+                costs.read_energy_pj if kind == "read" else costs.write_energy_pj
+            )
+            energy = per_access * counts
+        elif key.endswith("_miss"):
+            if key != "l2_miss":
+                continue  # L1 misses are priced via their l2_access events
+            energy = MEMORY_ACCESS_PJ * counts
+        else:
+            raise KeyError(f"unknown activity key: {key}")
+        dynamic = dynamic + energy
+
+    cycles = np.asarray(cycles, dtype=np.float64)
+    time_ns = cycles * params.period_ns
+    return BatchPowerReport(
+        time_ns=time_ns,
+        dynamic_pj=dynamic,
+        leakage_pj=params.total_leakage_mw * time_ns,
+        clock_pj=params.clock_energy_pj_per_cycle * cycles,
     )

@@ -9,22 +9,35 @@ from repro.timing.caches import (
     set_reuse_distances,
     stack_distances,
 )
+from repro.timing.batch import (
+    BatchEvalResult,
+    BatchIntervalEvaluator,
+    CharTables,
+    ConfigBatch,
+)
 from repro.timing.characterize import TraceCharacterization, characterize
 from repro.timing.cycle import CycleSimulator, SimResult, SimulationError
 from repro.timing.interval import IntervalEvaluator
 from repro.timing.resources import (
     ARCH_REGS,
     CACHE_BLOCK_BYTES,
+    BatchMachineParams,
     MachineParams,
     OpClass,
     derive_machine_params,
+    derive_machine_params_arrays,
 )
 
 __all__ = [
     "ARCH_REGS",
     "CACHE_BLOCK_BYTES",
+    "BatchEvalResult",
+    "BatchIntervalEvaluator",
+    "BatchMachineParams",
     "Cache",
     "CacheHierarchy",
+    "CharTables",
+    "ConfigBatch",
     "CycleSimulator",
     "GshareBTB",
     "IntervalEvaluator",
@@ -36,6 +49,7 @@ __all__ = [
     "block_reuse_distances",
     "characterize",
     "derive_machine_params",
+    "derive_machine_params_arrays",
     "miss_ratio_curve",
     "set_reuse_distances",
     "simulate_btb",

@@ -56,6 +56,38 @@ class TestDataStore:
         assert store.clear() == 2
         assert not store.contains("a")
 
+    def test_corrupt_entry_is_a_miss(self, store):
+        store.put("k", {"a": 1})
+        store._path("k").write_bytes(b"\x05not a pickle")
+        with pytest.raises(KeyError):
+            store.get("k")
+        assert not store.contains("k")  # deleted, not left to re-raise
+        assert store.corruptions == 1
+
+    def test_truncated_entry_is_a_miss(self, store):
+        store.put("k", list(range(1000)))
+        path = store._path("k")
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(KeyError):
+            store.get("k")
+        assert store.corruptions == 1
+
+    def test_get_or_compute_recovers_corrupt_entry(self, store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        store.put("k", "stale")
+        store._path("k").write_bytes(b"\x05garbage")
+        assert store.get_or_compute("k", compute) == 42
+        assert calls == [1]
+        # The recomputed value was re-stored: the next read is a clean hit.
+        assert store.get_or_compute("k", compute) == 42
+        assert calls == [1]
+        assert store.corruptions == 1
+
     def test_distinct_keys_do_not_collide(self, store):
         store.put("key-1", 1)
         store.put("key-2", 2)

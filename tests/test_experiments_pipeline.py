@@ -108,3 +108,65 @@ class TestPipeline:
         key = quick_pipeline.phase_keys[0]
         features = quick_pipeline.all_phase_data[key].features["advanced"]
         assert isinstance(predictor.predict(features), MicroarchConfig)
+
+
+class TestPrefetch:
+    """Process fan-out: workers write through the store, parent re-reads."""
+
+    @pytest.fixture
+    def tiny_scale(self):
+        return ReproScale.quick().with_(
+            benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
+            pool_size=8, neighbour_count=4)
+
+    def test_workers_env_var(self, monkeypatch, tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        pipe = ExperimentPipeline(ReproScale.quick(),
+                                  store=DataStore(tmp_path))
+        assert pipe.workers == 3
+        assert ExperimentPipeline(ReproScale.quick(),
+                                  store=DataStore(tmp_path),
+                                  workers=1).workers == 1
+
+    def test_prefetch_serial(self, tiny_scale, tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path))
+        computed = pipe.prefetch_phases()
+        assert sorted(computed) == sorted(pipe.phase_keys)
+        assert pipe.prefetch_phases() == []  # everything cached now
+
+    def test_prefetch_multiprocess_writes_through_store(
+            self, tiny_scale, tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path),
+                                  workers=2)
+        computed = pipe.prefetch_phases()
+        assert sorted(computed) == sorted(pipe.phase_keys)
+        # The parent's reads are now pure cache hits.
+        data = pipe.all_phase_data
+        assert len(data) == len(pipe.phase_keys)
+        assert pipe.store.misses == 0
+        assert pipe.store.hits >= len(pipe.phase_keys)
+
+    def test_multiprocess_matches_serial(self, tiny_scale, tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        serial = ExperimentPipeline(tiny_scale,
+                                    store=DataStore(tmp_path / "serial"))
+        fanned = ExperimentPipeline(tiny_scale,
+                                    store=DataStore(tmp_path / "fanout"),
+                                    workers=2)
+        a = serial.all_phase_data
+        b = fanned.all_phase_data
+        assert set(a) == set(b)
+        for key in a:
+            assert a[key].evaluations == b[key].evaluations
+            assert a[key].best[0] == b[key].best[0]
+
+    def test_prefetch_subset(self, tiny_scale, tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path))
+        subset = pipe.phase_keys[:1]
+        assert pipe.prefetch_phases(keys=subset) == subset
+        remaining = pipe.prefetch_phases()
+        assert sorted(remaining) == sorted(pipe.phase_keys[1:])

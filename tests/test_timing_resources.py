@@ -111,6 +111,20 @@ class TestEnergy:
         assert derive_machine_params(baseline_config) is \
             derive_machine_params(baseline_config)
 
+    def test_params_cached_across_equal_configs(self, baseline_config):
+        """The lru_cache keys on the (hashable) config value, so distinct
+        but equal objects share one derivation."""
+        clone = baseline_config.with_value("width", baseline_config.width)
+        assert clone is not baseline_config
+        assert derive_machine_params(clone) is \
+            derive_machine_params(baseline_config)
+
+    def test_cache_statistics_advance(self, baseline_config):
+        before = derive_machine_params.cache_info().hits
+        derive_machine_params(baseline_config)
+        derive_machine_params(baseline_config)
+        assert derive_machine_params.cache_info().hits >= before + 1
+
     def test_cycles_for_ns(self, baseline_config):
         params = derive_machine_params(baseline_config)
         assert params.cycles_for_ns(params.period_ns) == 1
