@@ -1,11 +1,29 @@
-"""Build the default-scale pipeline cache end to end."""
+"""Build the default-scale pipeline cache end to end.
+
+Fault tolerant and resumable: phases are fanned out over
+``REPRO_WORKERS`` processes with retries (``REPRO_MAX_RETRIES``),
+per-phase timeouts (``REPRO_PHASE_TIMEOUT``) and a run journal — an
+interrupted or crashed build picks up exactly where it stopped on the
+next invocation, and persistently-failing phases are quarantined and
+reported instead of blocking everything else.
+"""
 import time
+
+from repro.experiments.baselines import geomean
+from repro.experiments.errors import QuarantinedPhaseError
 from repro.experiments.pipeline import ExperimentPipeline
 from repro.experiments.scale import ReproScale
-from repro.experiments.baselines import geomean
 
 t0 = time.time()
 pipe = ExperimentPipeline(ReproScale.default(), verbose=True)
+try:
+    computed = pipe.prefetch_phases()
+except QuarantinedPhaseError as error:
+    print(pipe.journal.render(), flush=True)
+    raise SystemExit(f"ABORT {error}")
+print(f"PREFETCH computed={len(computed)} "
+      f"resumed={len(pipe.phase_keys) - len(computed)} "
+      f"{time.time()-t0:.0f}s", flush=True)
 data = pipe.all_phase_data
 print(f"PHASES_DONE {len(data)} {time.time()-t0:.0f}s", flush=True)
 print("BASELINE", pipe.baseline_config.describe(), flush=True)
@@ -19,3 +37,4 @@ perprog = pipe.suite_ratios(pipe.per_program_assignment())
 print(f"ORACLE avg={geomean(list(oracle.values())):.2f}", flush=True)
 print(f"PERPROG avg={geomean(list(perprog.values())):.2f}", flush=True)
 print(f"TOTAL {time.time()-t0:.0f}s", flush=True)
+print(pipe.journal.render(), flush=True)

@@ -1,0 +1,103 @@
+"""CI fault drill: prove the pipeline survives injected failures.
+
+Builds a miniature phase cache twice — once fault-free, once while the
+fault harness (``repro.testing.faults``) injects two worker crashes, a
+hung worker, a transient exception and a garbled cache write — and
+verifies the faulted build still completes, every entry passes its
+checksum, the journal records the recoveries, and all results match the
+fault-free build exactly.
+
+Exits non-zero on any divergence.  Run with a hard job timeout: a hung
+degradation path should fail the CI job fast, not stall it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import DataStore, ExperimentPipeline, ReproScale
+
+SCALE = ReproScale.quick().with_(
+    benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
+    pool_size=8, neighbour_count=4)
+
+failures: list[str] = []
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"[fault-drill] {status:>4}  {label}", flush=True)
+    if not condition:
+        failures.append(label)
+
+
+def build(root: Path, name: str, timeout: float | None = None
+          ) -> ExperimentPipeline:
+    pipeline = ExperimentPipeline(SCALE, store=DataStore(root / name),
+                                  workers=2)
+    started = time.time()
+    computed = pipeline.prefetch_phases(timeout=timeout)
+    print(f"[fault-drill] {name}: {len(computed)} phases in "
+          f"{time.time() - started:.1f}s", flush=True)
+    return pipeline
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-fault-drill-") as tmp:
+        root = Path(tmp)
+        os.environ.pop("REPRO_FAULTS", None)
+        clean = build(root, "clean")
+        reference = clean.all_phase_data
+        reference_ratios = clean.suite_ratios(clean.oracle)
+
+        keys = clean.phase_keys
+        crash_1 = f"{keys[0][0]}/{keys[0][1]}"
+        crash_2 = f"{keys[1][0]}/{keys[1][1]}"
+        hang = f"{keys[2][0]}/{keys[2][1]}"
+        flaky = f"{keys[3][0]}/{keys[3][1]}"
+        os.environ["REPRO_FAULTS_DIR"] = str(root / "fault-slots")
+        os.environ["REPRO_FAULT_HANG_SECONDS"] = "300"
+        os.environ["REPRO_FAULTS"] = ";".join([
+            f"crash@worker:{crash_1}*1",
+            f"crash@worker:{crash_2}*1",
+            f"hang@worker:{hang}*1",
+            f"transient@worker:{flaky}*1",
+            "corrupt@store-write:**1",  # garble one arbitrary cache write
+        ])
+        print(f"[fault-drill] faults: {os.environ['REPRO_FAULTS']}",
+              flush=True)
+        faulted = build(root, "faulted", timeout=15.0)
+        os.environ.pop("REPRO_FAULTS")
+
+        check(sorted(faulted.all_phase_data) == sorted(reference),
+              "faulted cache is complete")
+        check(all(faulted.store.contains(faulted._phase_cache_key(*key))
+                  for key in faulted.phase_keys),
+              "every cache entry passes its checksum")
+        summary = faulted.journal.summary()
+        print(f"[fault-drill] journal: {summary}", flush=True)
+        check(summary["failures"] + summary["timeouts"] >= 4,
+              "journal recorded the injected failures")
+        check(summary["pool_rebuilds"] >= 1,
+              "broken/hung pools were rebuilt")
+        check(summary["quarantined"] == 0, "no phase was quarantined")
+        data = faulted.all_phase_data
+        check(all(data[key].evaluations == ref.evaluations
+                  for key, ref in reference.items()),
+              "per-phase evaluations match the fault-free run")
+        check(faulted.suite_ratios(faulted.oracle) == reference_ratios,
+              "oracle suite ratios match bit-for-bit")
+    if failures:
+        print(f"[fault-drill] FAILED: {len(failures)} check(s): "
+              + "; ".join(failures), file=sys.stderr, flush=True)
+        return 1
+    print("[fault-drill] PASSED", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

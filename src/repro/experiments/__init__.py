@@ -7,16 +7,44 @@ from repro.experiments.baselines import (
     oracle_configs,
 )
 from repro.experiments.datastore import DataStore
+from repro.experiments.errors import (
+    CorruptInputError,
+    FatalError,
+    FaultClass,
+    QuarantinedPhaseError,
+    StaleCodeError,
+    TransientError,
+    classify,
+)
+from repro.experiments.journal import RunJournal
 from repro.experiments.pipeline import ExperimentPipeline, PhaseData
+from repro.experiments.runner import (
+    PhaseOutcome,
+    PhaseRunner,
+    RetryPolicy,
+    retry_call,
+)
 from repro.experiments.scale import ReproScale
 from repro.experiments.sweeps import PhaseSweep, run_phase_sweep
 
 __all__ = [
+    "CorruptInputError",
     "DataStore",
     "ExperimentPipeline",
+    "FatalError",
+    "FaultClass",
     "PhaseData",
+    "PhaseOutcome",
+    "PhaseRunner",
     "PhaseSweep",
+    "QuarantinedPhaseError",
     "ReproScale",
+    "RetryPolicy",
+    "RunJournal",
+    "StaleCodeError",
+    "TransientError",
+    "classify",
+    "retry_call",
     "best_static_config",
     "best_static_per_program",
     "geomean",

@@ -1,0 +1,116 @@
+"""Structured error taxonomy for fault-tolerant experiment execution.
+
+The execution layer (:mod:`repro.experiments.runner`) decides what to do
+with a failed phase by *classifying* the exception rather than matching
+exception types inline everywhere:
+
+* **transient** — worth retrying as-is: a crashed or OOM-killed worker
+  (``BrokenProcessPool``), a timeout, resource exhaustion, or an
+  explicitly-injected :class:`TransientError`.
+* **corrupt-input** — the inputs (typically a cache entry) are damaged;
+  retrying only helps after the damaged artifact is invalidated.
+* **fatal** — a programming or configuration error that no amount of
+  retrying fixes; the phase is quarantined immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+__all__ = [
+    "FaultClass",
+    "TransientError",
+    "CorruptInputError",
+    "FatalError",
+    "StaleCodeError",
+    "QuarantinedPhaseError",
+    "classify",
+]
+
+
+class FaultClass(enum.Enum):
+    """What a failure means for the retry loop."""
+
+    TRANSIENT = "transient"
+    CORRUPT_INPUT = "corrupt-input"
+    FATAL = "fatal"
+
+
+class TransientError(Exception):
+    """A failure expected to succeed on retry (also raised by the
+    fault-injection harness to exercise the retry path)."""
+
+
+class CorruptInputError(Exception):
+    """Inputs are damaged; invalidate them before retrying."""
+
+
+class FatalError(Exception):
+    """A failure retrying cannot fix; quarantine the work item."""
+
+
+class StaleCodeError(FatalError):
+    """A checksum-valid cache entry no longer unpickles.
+
+    The bytes on disk are provably intact (SHA-256 verified), so the
+    failure is in the *code*: a class moved or changed shape without
+    :attr:`DataStore.SCHEMA_VERSION` being bumped.  Deleting the entry
+    would silently hide the drift; surface it instead.
+    """
+
+
+class QuarantinedPhaseError(RuntimeError):
+    """Raised after a run completes when some phases were quarantined.
+
+    Every other phase has already been computed and cached, so a re-run
+    resumes instantly; the journal records why each quarantined phase
+    kept failing.
+    """
+
+    def __init__(self, keys: list[str], journal_path: object = None) -> None:
+        self.keys = list(keys)
+        self.journal_path = journal_path
+        where = f" (journal: {journal_path})" if journal_path else ""
+        super().__init__(
+            f"{len(self.keys)} phase(s) quarantined after repeated "
+            f"failures: {', '.join(self.keys)}{where}"
+        )
+
+
+#: Exception types that are worth retrying verbatim.
+_TRANSIENT_TYPES = (
+    TransientError,
+    BrokenExecutor,  # covers BrokenProcessPool
+    FuturesTimeoutError,
+    TimeoutError,
+    ConnectionError,
+    InterruptedError,
+    MemoryError,
+    OSError,
+)
+
+#: Exception types that mean "the input bytes are bad".
+_CORRUPT_TYPES = (
+    CorruptInputError,
+    pickle.UnpicklingError,
+    EOFError,
+)
+
+
+def classify(error: BaseException) -> FaultClass:
+    """Map an exception to its :class:`FaultClass`.
+
+    ``StaleCodeError`` is checked first: it subclasses ``FatalError``
+    but is also raised from unpickling, so it must never be mistaken
+    for corrupt input.
+    """
+    if isinstance(error, (FatalError, StaleCodeError)):
+        return FaultClass.FATAL
+    if isinstance(error, _CORRUPT_TYPES):
+        return FaultClass.CORRUPT_INPUT
+    if isinstance(error, _TRANSIENT_TYPES):
+        return FaultClass.TRANSIENT
+    return FaultClass.FATAL

@@ -16,18 +16,26 @@ Every expensive step is cached in a :class:`DataStore`, so figures re-run
 from disk instantly.  Per-phase work (profile + characterize + sweep) is
 independent across phases, so :meth:`ExperimentPipeline.prefetch_phases`
 can fan it out over a ``ProcessPoolExecutor``: workers write through the
-(atomic) store and the parent then re-reads pure cache hits.  Set the
-``REPRO_WORKERS`` environment variable (or the ``workers`` constructor
-argument) to enable the fan-out; the default of 1 keeps everything
-in-process.
+(atomic, checksummed) store and the parent then re-reads pure cache
+hits.  Set the ``REPRO_WORKERS`` environment variable (or the
+``workers`` constructor argument) to enable the fan-out; the default of
+1 keeps everything in-process.
+
+The fan-out is fault tolerant (see :mod:`repro.experiments.runner`):
+crashed or hung workers are retried on a rebuilt pool with jittered
+exponential backoff (``REPRO_MAX_RETRIES`` retries, ``REPRO_PHASE_TIMEOUT``
+seconds per phase), repeated pool failures degrade to in-process serial
+execution, every attempt is journalled (``RunJournal``) so interrupted
+builds resume where they stopped, and persistently-failing phases are
+quarantined — reported at the end via :class:`QuarantinedPhaseError` —
+instead of blocking the rest of the suite.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, partial
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -46,6 +54,9 @@ from repro.experiments.baselines import (
     oracle_configs,
 )
 from repro.experiments.datastore import DataStore
+from repro.experiments.errors import QuarantinedPhaseError
+from repro.experiments.journal import RunJournal
+from repro.experiments.runner import PhaseRunner, RetryPolicy
 from repro.experiments.scale import ReproScale
 from repro.experiments.sweeps import run_phase_sweep
 from repro.model.crossval import PhaseRecord, leave_one_program_out
@@ -165,6 +176,10 @@ class ExperimentPipeline:
 
         def compute() -> PhaseData:
             self._log(f"profiling + sweeping {program} phase {phase_id}")
+            if os.environ.get("REPRO_FAULTS"):  # fault-injection hook
+                from repro.testing.faults import inject
+
+                inject("compute", f"{program}/{phase_id}")
             trace = self.phase_trace(program, phase_id)
             warm = self.programs[program].phase_warm_trace(phase_id)
             counters = collect_counters(trace, warm_trace=warm)
@@ -190,25 +205,73 @@ class ExperimentPipeline:
 
         return self.store.get_or_compute(key, compute)
 
+    @cached_property
+    def journal(self) -> RunJournal:
+        """The run journal for this store + scale (JSONL, append-only)."""
+        return RunJournal.for_store(self.store, self.scale.tag)
+
+    def phase_runner(
+        self,
+        workers: int | None = None,
+        policy: RetryPolicy | None = None,
+        timeout: float | None = None,
+    ) -> PhaseRunner:
+        """A fault-tolerant runner wired to this pipeline's store/journal."""
+        workers = self.workers if workers is None else max(1, workers)
+        store_dir = str(self.store.directory)
+        return PhaseRunner(
+            partial(_phase_worker_task, self.scale, store_dir),
+            serial_task=lambda key: self.phase_data(*key),
+            workers=workers,
+            policy=policy,
+            timeout=timeout,
+            journal=self.journal,
+            verify=lambda key: self.store.contains(self._phase_cache_key(*key)),
+            invalidate=lambda key: self.store.delete(self._phase_cache_key(*key)),
+            describe=lambda key: f"{key[0]}/{key[1]}",
+            log=self._log,
+        )
+
     def prefetch_phases(
         self,
         keys: Iterable[PhaseKey] | None = None,
         workers: int | None = None,
+        policy: RetryPolicy | None = None,
+        timeout: float | None = None,
+        raise_on_quarantine: bool = True,
     ) -> list[PhaseKey]:
         """Compute every missing phase cache entry, fanned out over processes.
 
         Each worker process runs the full profile → characterize → sweep
         chain for one phase and writes the result through the store's
-        atomic ``put``; the parent then only re-reads cache hits.  Returns
-        the keys that were actually computed (missing before the call).
+        atomic, checksummed ``put``; the parent then only re-reads cache
+        hits.  Execution is fault tolerant: worker crashes, hangs and
+        transient errors are retried (``REPRO_MAX_RETRIES``,
+        ``REPRO_PHASE_TIMEOUT``), corrupt cache entries are invalidated
+        and recomputed, every attempt lands in :attr:`journal`, and an
+        interrupted call resumes exactly where it stopped.  Returns the
+        keys that were actually computed (missing before the call).
+
+        Phases that keep failing are quarantined *after* everything else
+        has been computed; they are reported via
+        :class:`QuarantinedPhaseError` (or just journalled, with
+        ``raise_on_quarantine=False``) and skipped on subsequent runs
+        until :meth:`RunJournal.clear_quarantine` is called.
 
         Args:
             keys: phases to prefetch (default: all of ``phase_keys``).
             workers: process count; defaults to the pipeline's ``workers``
                 (the ``REPRO_WORKERS`` environment variable).  With one
                 worker the phases are computed serially in-process.
+            policy: retry budget/backoff override.
+            timeout: per-phase seconds override.
+            raise_on_quarantine: raise if any phase was quarantined
+                (including by a previous run).
         """
         keys = list(keys) if keys is not None else self.phase_keys
+        # contains() verifies checksums, so corrupt entries are
+        # rescheduled into the fan-out rather than discovered (and
+        # recomputed serially) by the parent afterwards.
         missing = [
             key for key in keys
             if not self.store.contains(self._phase_cache_key(*key))
@@ -217,20 +280,20 @@ class ExperimentPipeline:
             return []
         workers = self.workers if workers is None else max(1, workers)
         workers = min(workers, len(missing))
-        if workers <= 1:
-            for key in missing:
-                self.phase_data(*key)
-            return missing
-        self._log(f"prefetching {len(missing)} phases on {workers} workers")
-        store_dir = str(self.store.directory)
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = [
-                executor.submit(_phase_worker, self.scale, store_dir, *key)
-                for key in missing
-            ]
-            for future in as_completed(futures):
-                future.result()  # surface worker failures immediately
-        return missing
+        if workers > 1:
+            self._log(
+                f"prefetching {len(missing)} phases on {workers} workers")
+        runner = self.phase_runner(workers=workers, policy=policy,
+                                   timeout=timeout)
+        outcomes = runner.run(missing)
+        computed = [key for key, outcome in outcomes.items()
+                    if outcome.status == "computed"]
+        not_done = sorted(
+            runner.describe(key) for key, outcome in outcomes.items()
+            if outcome.status in ("quarantined", "skipped"))
+        if not_done and raise_on_quarantine:
+            raise QuarantinedPhaseError(not_done, self.journal.path)
+        return computed
 
     @cached_property
     def all_phase_data(self) -> dict[PhaseKey, PhaseData]:
@@ -376,8 +439,19 @@ _WORKER_PIPELINE: ExperimentPipeline | None = None
 def _phase_worker(
     scale: ReproScale, store_dir: str, program: str, phase_id: int
 ) -> PhaseKey:
-    """Compute one phase in a worker process, writing through the store."""
+    """Compute one phase in a worker process, writing through the store.
+
+    Worker processes are reused across tasks (and across successive
+    ``prefetch_phases`` calls when the executor survives), so the cached
+    pipeline must be rebuilt whenever the scale *or* the store directory
+    differs from the previous task's — otherwise a reused worker would
+    serve results for the wrong scale or write them to the wrong cache.
+    """
     global _WORKER_PIPELINE
+    if os.environ.get("REPRO_FAULTS"):  # fault-injection hook (tests/CI)
+        from repro.testing.faults import inject
+
+        inject("worker", f"{program}/{phase_id}")
     if (
         _WORKER_PIPELINE is None
         or _WORKER_PIPELINE.scale != scale
@@ -388,3 +462,10 @@ def _phase_worker(
         )
     _WORKER_PIPELINE.phase_data(program, phase_id)
     return (program, phase_id)
+
+
+def _phase_worker_task(
+    scale: ReproScale, store_dir: str, key: PhaseKey
+) -> PhaseKey:
+    """`PhaseRunner` task adapter: one picklable ``task(key)`` callable."""
+    return _phase_worker(scale, store_dir, *key)

@@ -1,0 +1,5 @@
+"""Test-support utilities: deterministic fault injection."""
+
+from repro.testing.faults import FaultPlan, FaultRule, fault_prone_task, inject
+
+__all__ = ["FaultPlan", "FaultRule", "fault_prone_task", "inject"]

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for exercising degradation paths.
+
+Fault-tolerant code is only as good as its least-tested branch, so every
+recovery path in :mod:`repro.experiments.runner` is driven in CI by this
+harness: it deterministically injects worker crashes, hangs, transient
+exceptions and garbled cache writes at named *sites* in the pipeline,
+controlled entirely through environment variables (which worker
+processes inherit — no monkeypatching across process boundaries).
+
+``REPRO_FAULTS`` holds semicolon-separated rules::
+
+    mode@site:pattern[*count]
+
+* ``mode`` — what to do when the rule fires:
+    * ``crash``     — ``os._exit(17)`` (kills the worker process; the
+      parent sees a ``BrokenProcessPool``);
+    * ``hang``      — sleep ``REPRO_FAULT_HANG_SECONDS`` (default 3600;
+      the parent's phase timeout must reclaim the worker);
+    * ``transient`` — raise :class:`~repro.experiments.errors.
+      TransientError` (exercises plain retry);
+    * ``fatal``     — raise :class:`~repro.experiments.errors.
+      FatalError` (exercises quarantine);
+    * ``corrupt``   — at the ``store-write`` site only: the
+      :class:`~repro.experiments.datastore.DataStore` garbles the entry
+      it just wrote (exercises checksum detection + invalidate/retry).
+* ``site`` — where the hook lives: ``worker`` (top of a pool worker's
+  phase computation), ``compute`` (inside in-process
+  ``ExperimentPipeline.phase_data``), ``store-write`` (after
+  ``DataStore.put``), or ``task`` (the :func:`fault_prone_task` helper
+  used by the runner tests).
+* ``pattern`` — an ``fnmatch`` glob over the fault key (phase keys are
+  rendered ``program/phase_id``; store keys are cache keys).
+* ``count`` — how many times the rule fires in total, across *all*
+  processes (default 1; ``*`` or ``inf`` = every time).
+
+Cross-process firing counts are coordinated through ``O_EXCL`` marker
+files in ``REPRO_FAULTS_DIR``; without it, counts are tracked
+per-process (fine for single-process tests, wrong for pool fan-out).
+
+Example — crash the worker computing mcf/0 once, and garble swim's
+phase-1 cache entry once::
+
+    REPRO_FAULTS="crash@worker:mcf/0;corrupt@store-write:*swim/1"
+    REPRO_FAULTS_DIR=/tmp/faults
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.experiments.errors import FatalError, TransientError
+
+__all__ = ["FaultRule", "FaultPlan", "inject", "fault_prone_task"]
+
+_MODES = ("crash", "hang", "transient", "fatal", "corrupt")
+_UNLIMITED = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``mode@site:pattern[*count]`` clause."""
+
+    mode: str
+    site: str
+    pattern: str
+    count: float = 1  # total firings across all processes; inf = always
+
+    @classmethod
+    def parse(cls, clause: str) -> "FaultRule":
+        clause = clause.strip()
+        try:
+            mode, rest = clause.split("@", 1)
+            site, rest = rest.split(":", 1)
+        except ValueError:
+            raise ValueError(
+                f"bad fault rule {clause!r}: expected mode@site:pattern[*count]"
+            ) from None
+        # A trailing *N is a firing count; any other * is part of the
+        # fnmatch pattern.
+        pattern, count = rest, 1.0
+        if "*" in rest:
+            head, tail = rest.rsplit("*", 1)
+            if tail.isdigit():
+                pattern, count = head, float(tail)
+            elif tail == "inf":
+                pattern, count = head, _UNLIMITED
+        mode = mode.strip().lower()
+        if mode not in _MODES:
+            raise ValueError(f"unknown fault mode {mode!r} in {clause!r}")
+        return cls(mode=mode, site=site.strip(), pattern=pattern.strip(),
+                   count=count)
+
+    def spec(self) -> str:
+        suffix = ("" if self.count == 1
+                  else f"*{'inf' if self.count == _UNLIMITED else int(self.count)}")
+        return f"{self.mode}@{self.site}:{self.pattern}{suffix}"
+
+    def matches(self, site: str, key: str) -> bool:
+        return self.site == site and fnmatch(key, self.pattern)
+
+
+#: Per-process firing counts (fallback when REPRO_FAULTS_DIR is unset).
+_LOCAL_COUNTS: dict[str, int] = {}
+
+
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` value plus firing-count bookkeeping."""
+
+    def __init__(self, rules: list[FaultRule],
+                 counter_dir: str | Path | None = None) -> None:
+        self.rules = list(rules)
+        self.counter_dir = Path(counter_dir) if counter_dir else None
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "FaultPlan | None":
+        environ = os.environ if environ is None else environ
+        spec = environ.get("REPRO_FAULTS", "").strip()
+        if not spec:
+            return None
+        rules = [FaultRule.parse(clause)
+                 for clause in spec.split(";") if clause.strip()]
+        return cls(rules, counter_dir=environ.get("REPRO_FAULTS_DIR") or None)
+
+    # -- firing-count coordination --------------------------------------------
+
+    def _acquire(self, rule: FaultRule) -> bool:
+        """Atomically claim one firing slot for ``rule``; ``False`` when
+        its budget is exhausted."""
+        if rule.count == _UNLIMITED:
+            return True
+        if self.counter_dir is None:
+            token = rule.spec()
+            fired = _LOCAL_COUNTS.get(token, 0)
+            if fired >= rule.count:
+                return False
+            _LOCAL_COUNTS[token] = fired + 1
+            return True
+        self.counter_dir.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.sha256(rule.spec().encode()).hexdigest()[:16]
+        for slot in range(int(rule.count)):
+            marker = self.counter_dir / f"{digest}.{slot}"
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.write(fd, f"{os.getpid()}\n".encode())
+            os.close(fd)
+            return True
+        return False
+
+    # -- firing ----------------------------------------------------------------
+
+    def fire(self, site: str, key: str) -> frozenset[str]:
+        """Run every matching rule with budget left.
+
+        ``crash``/``hang``/``transient``/``fatal`` perform their fault
+        here; ``corrupt`` is returned to the caller (only the store
+        knows which bytes to garble).  Returns the fired modes.
+        """
+        fired: set[str] = set()
+        for rule in self.rules:
+            if not rule.matches(site, key) or not self._acquire(rule):
+                continue
+            fired.add(rule.mode)
+            if rule.mode == "crash":
+                os._exit(17)
+            if rule.mode == "hang":
+                time.sleep(float(
+                    os.environ.get("REPRO_FAULT_HANG_SECONDS", "3600")))
+            elif rule.mode == "transient":
+                raise TransientError(f"injected transient fault at {site}:{key}")
+            elif rule.mode == "fatal":
+                raise FatalError(f"injected fatal fault at {site}:{key}")
+        return frozenset(fired)
+
+
+def inject(site: str, key: str) -> frozenset[str]:
+    """Fire any active fault rules for ``site``/``key``.
+
+    Reads ``REPRO_FAULTS`` on every call so worker processes and
+    monkeypatched tests all see the live value; parsing a few rules is
+    nanoseconds next to the work the hooks guard.
+    """
+    plan = FaultPlan.from_env()
+    if plan is None:
+        return frozenset()
+    return plan.fire(site, key)
+
+
+def fault_prone_task(key: str) -> str:
+    """A picklable no-op work item wired to the ``task`` fault site.
+
+    The :class:`~repro.experiments.runner.PhaseRunner` tests submit this
+    to real worker pools and steer every failure mode purely through
+    ``REPRO_FAULTS``.
+    """
+    inject("task", key)
+    return key

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import DataStore
+from repro.experiments import DataStore, StaleCodeError
 
 
 @pytest.fixture
@@ -98,3 +98,75 @@ class TestDataStore:
         target = tmp_path / "deep" / "nested"
         DataStore(target)
         assert target.is_dir()
+
+    def test_delete(self, store):
+        store.put("k", 1)
+        assert store.delete("k")
+        assert not store.contains("k")
+        assert not store.delete("k")  # already gone
+
+
+class TestChecksums:
+    """SHA-256-framed entries: bad bytes, stale schema, stale code."""
+
+    def test_garbled_payload_is_corrupt(self, store):
+        store.put("k", list(range(100)))
+        path = store._path("k")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # single flipped bit mid-payload
+        path.write_bytes(bytes(raw))
+        assert not store.contains("k")
+        with pytest.raises(KeyError):
+            store.get("k")
+        assert store.corruptions == 1
+
+    def test_contains_verifies_by_default(self, store):
+        store.put("k", "value")
+        store._path("k").write_bytes(b"\x00" * 60)
+        assert not store.contains("k")
+        assert store.contains("k", verify=False)  # plain existence test
+        # contains() itself must not delete; only a read does.
+        assert store._path("k").exists()
+
+    def test_schema_version_invalidates_deterministically(self, tmp_path):
+        writer = DataStore(tmp_path / "cache", schema_version=1)
+        writer.put("k", "from v1")
+        reader = DataStore(tmp_path / "cache", schema_version=2)
+        assert not reader.contains("k")
+        assert reader.get_or_compute("k", lambda: "from v2") == "from v2"
+        assert reader.invalidations == 1
+        assert reader.corruptions == 0
+        # The recomputed entry is valid under the new version.
+        assert reader.get("k") == "from v2"
+
+    def test_headerless_legacy_entry_is_corrupt(self, store):
+        import pickle
+        store._path("k").write_bytes(pickle.dumps({"pre": "framing"}))
+        assert not store.contains("k")
+        with pytest.raises(KeyError):
+            store.get("k")
+        assert store.corruptions == 1
+
+    def test_stale_code_raises_and_keeps_entry(self, store):
+        # A checksum-valid payload whose pickle references a module that
+        # no longer exists: "bad code", not "bad bytes".
+        payload = b"cno_such_module_abc123\nThing\n."
+        store._path("k").write_bytes(store._frame(payload))
+        assert store.contains("k")  # bytes are intact
+        with pytest.raises(StaleCodeError):
+            store.get("k")
+        assert store._path("k").exists()  # kept as evidence, not deleted
+        with pytest.raises(StaleCodeError):
+            store.get_or_compute("k", lambda: "should not be called")
+        assert store.corruptions == 0
+
+    def test_fault_injected_corrupt_write_detected(self, store, monkeypatch):
+        from repro.testing import faults
+        faults._LOCAL_COUNTS.clear()
+        monkeypatch.delenv("REPRO_FAULTS_DIR", raising=False)
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt@store-write:k*1")
+        store.put("k", list(range(50)))
+        assert not store.contains("k")  # the garbled write is caught
+        # The fault budget is spent, so the recompute writes cleanly.
+        assert store.get_or_compute("k", lambda: "fresh") == "fresh"
+        assert store.get("k") == "fresh"

@@ -1,0 +1,90 @@
+"""Tests for the append-only run journal."""
+
+import json
+
+import pytest
+
+from repro.experiments import DataStore, RunJournal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return RunJournal(tmp_path / "run.jsonl")
+
+
+class TestRunJournal:
+    def test_record_and_reload(self, journal):
+        journal.record("mcf/0", "attempt", attempt=1)
+        journal.record("mcf/0", "success", attempt=1, duration=0.5)
+        reloaded = RunJournal(journal.path)
+        assert [r["event"] for r in reloaded.records] == ["attempt", "success"]
+        assert reloaded.attempts("mcf/0") == 1
+        assert reloaded.outcome("mcf/0") == "success"
+
+    def test_none_fields_dropped(self, journal):
+        entry = journal.record("k", "failure", error="boom", duration=None)
+        assert "duration" not in entry
+        assert entry["error"] == "boom"
+
+    def test_outcome_none_while_in_flight(self, journal):
+        journal.record("k", "attempt", attempt=1)
+        journal.record("k", "failure", attempt=1, error="x")
+        assert journal.outcome("k") is None
+
+    def test_quarantine_lifecycle(self, journal):
+        journal.record("bad/1", "attempt", attempt=1)
+        journal.record("bad/1", "failure", attempt=1, error="boom")
+        journal.record("bad/1", "quarantine", error="boom")
+        assert journal.quarantined() == ["bad/1"]
+        assert journal.outcome("bad/1") == "quarantine"
+        journal.clear_quarantine("bad/1")
+        assert journal.quarantined() == []
+        # A later quarantine re-quarantines.
+        journal.record("bad/1", "quarantine", error="boom again")
+        assert journal.quarantined() == ["bad/1"]
+
+    def test_torn_write_skipped(self, journal):
+        journal.record("a", "success", attempt=1)
+        with journal.path.open("a") as handle:
+            handle.write('{"key": "b", "event": "succ')  # killed mid-write
+        reloaded = RunJournal(journal.path)
+        assert len(reloaded.records) == 1
+        assert reloaded.outcome("a") == "success"
+
+    def test_summary_counts(self, journal):
+        for key in ("a", "b"):
+            journal.record(key, "attempt", attempt=1)
+        journal.record("a", "failure", attempt=1, error="x")
+        journal.record("a", "attempt", attempt=2)
+        journal.record("a", "success", attempt=2, duration=1.0)
+        journal.record("b", "success", attempt=1, duration=2.0)
+        journal.record("-", "pool-rebuild", attempt=1)
+        summary = journal.summary()
+        assert summary["attempts"] == 3
+        assert summary["successes"] == 2
+        assert summary["failures"] == 1
+        assert summary["retries"] == 1
+        assert summary["pool_rebuilds"] == 1
+        assert summary["quarantined"] == 0
+        assert summary["total_success_duration"] == pytest.approx(3.0)
+
+    def test_render_mentions_quarantined(self, journal):
+        journal.record("bad/2", "failure", attempt=1, error="ValueError: nope")
+        journal.record("bad/2", "quarantine", error="ValueError: nope")
+        text = journal.render()
+        assert "bad/2" in text and "ValueError" in text
+
+    def test_for_store_sanitizes_tag(self, tmp_path):
+        store = DataStore(tmp_path / "cache")
+        journal = RunJournal.for_store(store, "v8-mcf,swim-p2/odd tag")
+        journal.record("k", "success", attempt=1)
+        assert journal.path.parent == store.directory / "journals"
+        assert "/" not in journal.path.name.replace(".jsonl", "")
+        assert journal.path.exists()
+
+    def test_lines_are_valid_json(self, journal):
+        journal.record("k", "attempt", attempt=1)
+        journal.record("k", "success", attempt=1, duration=0.1)
+        for line in journal.path.read_text().splitlines():
+            record = json.loads(line)
+            assert {"ts", "key", "event"} <= set(record)

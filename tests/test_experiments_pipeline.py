@@ -170,3 +170,172 @@ class TestPrefetch:
         assert pipe.prefetch_phases(keys=subset) == subset
         remaining = pipe.prefetch_phases()
         assert sorted(remaining) == sorted(pipe.phase_keys[1:])
+
+
+class TestWorkerReuse:
+    """Reused worker processes must rebuild their cached pipeline when
+    the scale or the store directory changes between tasks."""
+
+    @pytest.fixture
+    def tiny_scale(self):
+        return ReproScale.quick().with_(
+            benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
+            pool_size=8, neighbour_count=4)
+
+    def test_rebuilds_on_scale_and_store_change(self, tiny_scale, tmp_path):
+        import repro.experiments.pipeline as P
+        from repro.experiments import DataStore, ExperimentPipeline
+        store_a, store_b = str(tmp_path / "a"), str(tmp_path / "b")
+        try:
+            P._phase_worker(tiny_scale, store_a, "mcf", 0)
+            first = P._WORKER_PIPELINE
+            assert str(first.store.directory) == store_a
+            # Same scale + store: the pipeline (suite, pool) is reused.
+            P._phase_worker(tiny_scale, store_a, "mcf", 1)
+            assert P._WORKER_PIPELINE is first
+            # A different scale must not be served from the stale pipeline.
+            other_scale = tiny_scale.with_(seed=1)
+            P._phase_worker(other_scale, store_a, "mcf", 0)
+            assert P._WORKER_PIPELINE is not first
+            assert P._WORKER_PIPELINE.scale == other_scale
+            second = P._WORKER_PIPELINE
+            # A different store directory must not leak writes to the old one.
+            P._phase_worker(other_scale, store_b, "swim", 0)
+            assert P._WORKER_PIPELINE is not second
+            assert str(P._WORKER_PIPELINE.store.directory) == store_b
+        finally:
+            P._WORKER_PIPELINE = None
+        # Every call wrote through the store it was given.
+        probe_a = ExperimentPipeline(tiny_scale, store=DataStore(store_a))
+        assert probe_a.store.contains(probe_a._phase_cache_key("mcf", 0))
+        probe_a2 = ExperimentPipeline(tiny_scale.with_(seed=1),
+                                      store=DataStore(store_a))
+        assert probe_a2.store.contains(probe_a2._phase_cache_key("mcf", 0))
+        probe_b = ExperimentPipeline(tiny_scale.with_(seed=1),
+                                     store=DataStore(store_b))
+        assert probe_b.store.contains(probe_b._phase_cache_key("swim", 0))
+        # The seed-0 entry was never written to store_b.
+        probe_b0 = ExperimentPipeline(tiny_scale, store=DataStore(store_b))
+        assert not probe_b0.store.contains(
+            probe_b0._phase_cache_key("mcf", 0))
+
+
+class TestFaultTolerance:
+    """Injected faults mid-prefetch must not change any result."""
+
+    @pytest.fixture
+    def tiny_scale(self):
+        return ReproScale.quick().with_(
+            benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
+            pool_size=8, neighbour_count=4)
+
+    @pytest.fixture(autouse=True)
+    def _fault_env(self, monkeypatch, tmp_path):
+        from repro.testing import faults
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "fault-slots"))
+        faults._LOCAL_COUNTS.clear()
+
+    def test_two_worker_crashes_recover_bit_for_bit(
+            self, tiny_scale, tmp_path, monkeypatch):
+        """Acceptance: crash 2 workers mid-prefetch; the cache still
+        completes, checksum-valid, with journalled retries, and every
+        figure input matches a fault-free run exactly."""
+        from repro.experiments import DataStore, ExperimentPipeline
+        clean = ExperimentPipeline(tiny_scale,
+                                   store=DataStore(tmp_path / "clean"),
+                                   workers=2)
+        clean.prefetch_phases()
+        reference = clean.all_phase_data
+        reference_ratios = clean.suite_ratios(clean.oracle)
+
+        keys = clean.phase_keys
+        crash_1 = f"{keys[0][0]}/{keys[0][1]}"
+        crash_2 = f"{keys[-1][0]}/{keys[-1][1]}"
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            f"crash@worker:{crash_1}*1;crash@worker:{crash_2}*1")
+        faulted = ExperimentPipeline(tiny_scale,
+                                     store=DataStore(tmp_path / "faulted"),
+                                     workers=2)
+        computed = faulted.prefetch_phases()
+        assert sorted(computed) == sorted(faulted.phase_keys)
+        monkeypatch.delenv("REPRO_FAULTS")
+
+        # The cache is complete and every entry passes its checksum.
+        for key in faulted.phase_keys:
+            assert faulted.store.contains(faulted._phase_cache_key(*key))
+        # The journal recorded the crashes and recoveries.
+        summary = faulted.journal.summary()
+        assert summary["failures"] >= 2
+        assert summary["pool_rebuilds"] >= 1
+        assert summary["quarantined"] == 0
+        assert faulted.journal.attempts(crash_1) >= 2
+        assert faulted.journal.attempts(crash_2) >= 2
+
+        # Results are bit-for-bit identical to the fault-free run.
+        data = faulted.all_phase_data
+        assert set(data) == set(reference)
+        for key, ref in reference.items():
+            assert data[key].evaluations == ref.evaluations
+            for feature_set in ("advanced", "basic"):
+                assert (data[key].features[feature_set]
+                        == ref.features[feature_set]).all()
+        assert faulted.suite_ratios(faulted.oracle) == reference_ratios
+
+    def test_corrupt_entry_recomputed_in_fanout(self, tiny_scale, tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path / "c"),
+                                  workers=2)
+        pipe.prefetch_phases()
+        key = pipe.phase_keys[0]
+        cache_key = pipe._phase_cache_key(*key)
+        path = pipe.store._path(cache_key)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        # contains() sees through the corruption, so the prefetch
+        # fan-out reschedules exactly the damaged phase.
+        assert not pipe.store.contains(cache_key)
+        assert pipe.prefetch_phases() == [key]
+        assert pipe.store.contains(cache_key)
+
+    def test_transient_compute_fault_retried(self, tiny_scale, tmp_path,
+                                             monkeypatch):
+        from repro.experiments import DataStore, ExperimentPipeline
+        key = "mcf/0"
+        monkeypatch.setenv("REPRO_FAULTS", f"transient@compute:{key}*1")
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path / "t"))
+        computed = pipe.prefetch_phases()
+        assert sorted(computed) == sorted(pipe.phase_keys)
+        summary = pipe.journal.summary()
+        assert summary["failures"] == 1
+        assert summary["quarantined"] == 0
+        assert pipe.journal.attempts(key) == 2
+
+    def test_fatal_fault_quarantines_without_blocking(
+            self, tiny_scale, tmp_path, monkeypatch):
+        from repro.experiments import (
+            DataStore,
+            ExperimentPipeline,
+            QuarantinedPhaseError,
+        )
+        bad = "mcf/0"
+        monkeypatch.setenv("REPRO_FAULTS", f"fatal@compute:{bad}*inf")
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path / "q"))
+        with pytest.raises(QuarantinedPhaseError) as excinfo:
+            pipe.prefetch_phases()
+        assert excinfo.value.keys == [bad]
+        # Every other phase was still computed and cached.
+        for key in pipe.phase_keys:
+            cached = pipe.store.contains(pipe._phase_cache_key(*key))
+            assert cached == (f"{key[0]}/{key[1]}" != bad)
+        assert pipe.journal.quarantined() == [bad]
+        # Resume: the quarantined phase is skipped, not retried forever.
+        with pytest.raises(QuarantinedPhaseError):
+            pipe.prefetch_phases()
+        # After clearing the quarantine (fault gone), the run completes.
+        monkeypatch.delenv("REPRO_FAULTS")
+        pipe.journal.clear_quarantine(bad)
+        assert pipe.prefetch_phases() == [("mcf", 0)]
+        assert pipe.prefetch_phases() == []

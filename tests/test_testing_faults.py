@@ -1,0 +1,144 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.errors import FatalError, TransientError
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, FaultRule, inject
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_DIR", raising=False)
+    faults._LOCAL_COUNTS.clear()
+
+
+class TestFaultRule:
+    def test_parse_basic(self):
+        rule = FaultRule.parse("crash@worker:mcf/0")
+        assert (rule.mode, rule.site, rule.pattern, rule.count) == (
+            "crash", "worker", "mcf/0", 1)
+
+    def test_parse_count(self):
+        assert FaultRule.parse("transient@task:a*3").count == 3
+        assert FaultRule.parse("hang@worker:*/1*2").pattern == "*/1"
+
+    def test_parse_inf(self):
+        rule = FaultRule.parse("fatal@task:q*inf")
+        assert rule.count == float("inf")
+        assert rule.pattern == "q"
+
+    def test_glob_kept_when_no_count(self):
+        rule = FaultRule.parse("corrupt@store-write:*swim/1")
+        assert rule.pattern == "*swim/1"
+        assert rule.count == 1
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule.parse("crash-worker-mcf")
+        with pytest.raises(ValueError):
+            FaultRule.parse("explode@worker:mcf/0")
+
+    def test_matches(self):
+        rule = FaultRule.parse("transient@worker:*/1")
+        assert rule.matches("worker", "mcf/1")
+        assert not rule.matches("worker", "mcf/2")
+        assert not rule.matches("compute", "mcf/1")
+
+    def test_spec_roundtrip(self):
+        for clause in ("crash@worker:mcf/0", "transient@task:a*3",
+                       "fatal@task:q*inf"):
+            assert FaultRule.parse(clause).spec() == clause
+
+
+class TestFaultPlan:
+    def test_from_env_absent(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({"REPRO_FAULTS": "  "}) is None
+
+    def test_from_env_parses_rules(self):
+        plan = FaultPlan.from_env(
+            {"REPRO_FAULTS": "transient@task:a;fatal@task:b*2"})
+        assert [rule.mode for rule in plan.rules] == ["transient", "fatal"]
+
+    def test_transient_fires_then_exhausts(self):
+        plan = FaultPlan([FaultRule.parse("transient@task:a*2")])
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                plan.fire("task", "a")
+        assert plan.fire("task", "a") == frozenset()  # budget spent
+
+    def test_fatal_fires(self):
+        plan = FaultPlan([FaultRule.parse("fatal@task:a")])
+        with pytest.raises(FatalError):
+            plan.fire("task", "a")
+
+    def test_corrupt_returned_not_raised(self):
+        plan = FaultPlan([FaultRule.parse("corrupt@store-write:key*")])
+        assert plan.fire("store-write", "key-1") == frozenset({"corrupt"})
+        assert plan.fire("store-write", "key-2") == frozenset()
+
+    def test_site_and_pattern_gate_firing(self):
+        plan = FaultPlan([FaultRule.parse("transient@compute:mcf/*")])
+        assert plan.fire("worker", "mcf/0") == frozenset()
+        assert plan.fire("compute", "swim/0") == frozenset()
+        with pytest.raises(TransientError):
+            plan.fire("compute", "mcf/0")
+
+    def test_counts_shared_across_processes(self, tmp_path):
+        """O_EXCL marker files make a *1 rule fire exactly once globally."""
+        env = dict(os.environ,
+                   REPRO_FAULTS="transient@task:a*1",
+                   REPRO_FAULTS_DIR=str(tmp_path),
+                   PYTHONPATH="src")
+        script = (
+            "from repro.testing.faults import inject\n"
+            "try:\n"
+            "    inject('task', 'a')\n"
+            "    print('clean')\n"
+            "except Exception as e:\n"
+            "    print('fired')\n"
+        )
+        outputs = [
+            subprocess.run([sys.executable, "-c", script], env=env,
+                           capture_output=True, text=True).stdout.strip()
+            for _ in range(3)
+        ]
+        assert outputs.count("fired") == 1
+        assert outputs.count("clean") == 2
+
+
+class TestInject:
+    def test_noop_without_env(self):
+        assert inject("task", "anything") == frozenset()
+
+    def test_reads_live_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "transient@task:live")
+        with pytest.raises(TransientError):
+            inject("task", "live")
+
+    def test_hang_sleeps_configured_seconds(self, monkeypatch):
+        import time
+        monkeypatch.setenv("REPRO_FAULTS", "hang@task:h")
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "0.05")
+        start = time.monotonic()
+        assert inject("task", "h") == frozenset({"hang"})
+        assert time.monotonic() - start >= 0.05
+
+    def test_crash_exits_process(self, tmp_path):
+        env = dict(os.environ, REPRO_FAULTS="crash@task:boom",
+                   PYTHONPATH="src")
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.testing.faults import inject; inject('task', 'boom')"],
+            env=env, capture_output=True)
+        assert result.returncode == 17
+
+    def test_fault_prone_task_returns_key(self):
+        from repro.testing.faults import fault_prone_task
+        assert fault_prone_task("k1") == "k1"
