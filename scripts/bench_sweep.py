@@ -101,22 +101,30 @@ def bench_evaluators(pool_size: int, trace_length: int, repeats: int) -> dict:
 
 
 def bench_pipeline(scale: ReproScale, workers: int) -> dict:
-    def run(n_workers: int) -> float:
+    def run(n_workers: int) -> tuple[float, dict[str, float]]:
         with tempfile.TemporaryDirectory() as directory:
             pipeline = ExperimentPipeline(
                 scale, store=DataStore(directory), workers=n_workers
             )
             t0 = time.perf_counter()
             pipeline.all_phase_data
-            return time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            # Fingerprint the results so the fan-out is checked for
+            # *parity*, not just speed: a worker-pool build must land on
+            # bit-identical numbers.
+            return elapsed, pipeline.suite_ratios(pipeline.oracle)
 
+    serial_seconds, serial_ratios = run(1)
     result = {
         "scale": scale.tag,
         "phases": len(scale.benchmarks or ()) * scale.n_phases or None,
-        "serial_seconds": run(1),
+        "serial_seconds": serial_seconds,
+        "parity_ok": True,
     }
     if workers > 1:
-        result[f"workers{workers}_seconds"] = run(workers)
+        worker_seconds, worker_ratios = run(workers)
+        result[f"workers{workers}_seconds"] = worker_seconds
+        result["parity_ok"] = worker_ratios == serial_ratios
     return result
 
 
@@ -184,6 +192,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.output}")
 
     failures = []
+    if not args.skip_pipeline and not report["pipeline"]["parity_ok"]:
+        failures.append(
+            "pipeline results with worker fan-out diverge from the serial "
+            "build (expected bit-identical oracle ratios)"
+        )
     if evaluators["max_rel_err"] > REQUIRED_RTOL:
         failures.append(
             f"batch/scalar divergence {evaluators['max_rel_err']:.2e} "

@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import DataStore, ExperimentPipeline, ReproScale
+from repro.experiments.errors import QuarantinedPhaseError
 
 SCALE = ReproScale.quick().with_(
     benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
@@ -40,7 +41,15 @@ def build(root: Path, name: str, timeout: float | None = None
     pipeline = ExperimentPipeline(SCALE, store=DataStore(root / name),
                                   workers=2)
     started = time.time()
-    computed = pipeline.prefetch_phases(timeout=timeout)
+    try:
+        computed = pipeline.prefetch_phases(timeout=timeout)
+    except QuarantinedPhaseError as error:
+        # A quarantine here means the drill failed: the injected faults
+        # exhausted the retry budget.  Fail the job explicitly (with the
+        # journal) instead of dying on an unhandled traceback.
+        print(pipeline.journal.render(), flush=True)
+        check(False, f"{name} build completed without quarantine ({error})")
+        return pipeline
     print(f"[fault-drill] {name}: {len(computed)} phases in "
           f"{time.time() - started:.1f}s", flush=True)
     return pipeline

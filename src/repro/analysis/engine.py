@@ -1,0 +1,145 @@
+"""File walking, rule dispatch, suppression filtering and the CLI.
+
+The entry point is ``python -m repro.analysis <paths...>``: every ``.py``
+file under the given paths is parsed once, each applicable rule runs
+over it, suppressed findings are dropped, and the survivors print as
+``file:line:col RULE message`` with a non-zero exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.module import ModuleInfo
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = ["check_source", "check_file", "check_paths", "iter_python_files",
+           "main"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro_cache", ".venv",
+                        "node_modules", ".mypy_cache", ".pytest_cache"})
+
+
+def _selected_rules(select: Iterable[str] | None = None,
+                    ignore: Iterable[str] | None = None) -> list[Rule]:
+    wanted = {r.upper() for r in select} if select else None
+    unwanted = {r.upper() for r in ignore} if ignore else set()
+    rules = [rule for rule in ALL_RULES
+             if (wanted is None or rule.id in wanted)
+             and rule.id not in unwanted]
+    return rules
+
+
+def check_source(
+    source: str,
+    path: str,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Check one source string as though it lived at ``path``.
+
+    ``path`` drives rule scoping (tests are exempt from most rules,
+    ``RPL-C002`` only watches ``repro/power``+``repro/timing``, ...), so
+    fixtures can probe any scope by choosing a virtual path.
+    """
+    try:
+        module = ModuleInfo(source, path)
+    except SyntaxError as error:
+        return [Diagnostic(path=path.replace("\\", "/"),
+                           line=error.lineno or 1,
+                           col=(error.offset or 1),
+                           rule="RPL-E001",
+                           message=f"syntax error: {error.msg}")]
+    diagnostics: list[Diagnostic] = []
+    for rule in _selected_rules(select, ignore):
+        if not rule.applies_to(module.path):
+            continue
+        for diagnostic in rule.check(module):
+            if not module.is_suppressed(diagnostic.rule, diagnostic.line):
+                diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def check_file(path: str | Path, **kwargs: object) -> list[Diagnostic]:
+    path = Path(path)
+    return check_source(path.read_text(encoding="utf-8"),
+                        path.as_posix(), **kwargs)  # type: ignore[arg-type]
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (deterministic order)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for found in sorted(entry.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in found.parts):
+                    yield found
+        elif entry.suffix == ".py":
+            yield entry
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {entry}")
+
+
+def check_paths(paths: Sequence[str | Path],
+                **kwargs: object) -> tuple[list[Diagnostic], int]:
+    """Check every file under ``paths``; returns (diagnostics, file count)."""
+    diagnostics: list[Diagnostic] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        diagnostics.extend(check_file(path, **kwargs))
+    return diagnostics, count
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: determinism / pool-safety / cache-hygiene "
+                    "/ numeric-safety invariant checker",
+        epilog="Suppress a documented false positive with "
+               "'# reprolint: disable=RPL-X000' on the offending line, or "
+               "'# reprolint: disable-file=RPL-X000' anywhere in the file.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "scripts"],
+                        help="files or directories to check "
+                             "(default: src scripts)")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULE", help="only run these rule IDs")
+    parser.add_argument("--ignore", action="append", default=None,
+                        metavar="RULE", help="skip these rule IDs")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        diagnostics, checked = check_paths(args.paths, select=args.select,
+                                           ignore=args.ignore)
+    except FileNotFoundError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    if diagnostics:
+        print(f"reprolint: {len(diagnostics)} finding(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"reprolint: clean ({checked} file(s) checked)", file=sys.stderr)
+    return 0

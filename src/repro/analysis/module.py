@@ -1,0 +1,160 @@
+"""Parsed-module model shared by every reprolint rule.
+
+A :class:`ModuleInfo` bundles what rules need to stay cheap and precise:
+the AST, a child→parent map, an import table that resolves local names
+back to the canonical dotted path (``np.random.randint`` →
+``numpy.random.randint``), and the ``# reprolint: disable=...``
+suppression comments collected from the token stream (so comments inside
+strings are never misread as suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from functools import cached_property
+
+__all__ = ["ModuleInfo", "dotted_name", "is_test_path"]
+
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``a.b.c`` attribute chain, or ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_test_path(path: str) -> bool:
+    """Whether ``path`` is test code (exempt from most rules)."""
+    parts = path.replace("\\", "/").split("/")
+    name = parts[-1]
+    return (
+        "tests" in parts[:-1]
+        or name.startswith("test_")
+        or name.endswith("_test.py")
+        or name == "conftest.py"
+    )
+
+
+class ModuleInfo:
+    """One parsed source file plus the lookups rules share."""
+
+    def __init__(self, source: str, path: str) -> None:
+        self.source = source
+        self.path = path.replace("\\", "/")
+        self.tree = ast.parse(source, filename=path)
+
+    # -- structure -------------------------------------------------------------
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child node → parent node, for upward walks."""
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        return parents
+
+    def enclosing(self, node: ast.AST, *kinds: type) -> ast.AST | None:
+        """The nearest ancestor of ``node`` that is one of ``kinds``."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        return self.enclosing(node, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        found = self.enclosing(node, ast.ClassDef)
+        return found if isinstance(found, ast.ClassDef) else None
+
+    # -- imports ---------------------------------------------------------------
+
+    @cached_property
+    def _import_table(self) -> dict[str, str]:
+        """Local name → canonical dotted prefix it stands for."""
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``.
+                        head = alias.name.split(".", 1)[0]
+                        table[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    table[local] = f"{node.module}.{alias.name}"
+        return table
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name a call/attribute refers to, if knowable.
+
+        ``np.random.randint`` resolves to ``numpy.random.randint`` given
+        ``import numpy as np``; names whose head is not an import are
+        returned verbatim (a best-effort fallback that keeps fixture
+        snippets without imports checkable).
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        expansion = self._import_table.get(head)
+        if expansion is None:
+            return dotted
+        return f"{expansion}.{rest}" if rest else expansion
+
+    # -- suppressions ----------------------------------------------------------
+
+    @cached_property
+    def _suppressions(self) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+        per_line: dict[int, set[str]] = {}
+        whole_file: set[str] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESSION.search(token.string)
+                if not match:
+                    continue
+                rules = {
+                    rule.strip().upper()
+                    for rule in match.group("rules").split(",")
+                    if rule.strip()
+                }
+                if match.group(1) == "disable-file":
+                    whole_file |= rules
+                else:
+                    per_line.setdefault(token.start[0], set()).update(rules)
+        except tokenize.TokenError:
+            pass  # partial token stream: honour what was parsed
+        return (
+            {line: frozenset(rules) for line, rules in per_line.items()},
+            frozenset(whole_file),
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        per_line, whole_file = self._suppressions
+        rule_id = rule_id.upper()
+        if rule_id in whole_file or "ALL" in whole_file:
+            return True
+        at_line = per_line.get(line, frozenset())
+        return rule_id in at_line or "ALL" in at_line

@@ -91,7 +91,7 @@ class MicroarchConfig:
             raise ConfigError(
                 f"expected {len(PARAMETER_NAMES)} indices, got {len(indices)}"
             )
-        values = {}
+        values: dict[str, int] = {}
         for name, index in zip(PARAMETER_NAMES, indices):
             parameter = parameter_by_name(name)
             if not 0 <= index < parameter.cardinality:

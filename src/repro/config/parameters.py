@@ -88,7 +88,7 @@ class Parameter:
     def neighbours(self, value: int) -> tuple[int, ...]:
         """The allowed values adjacent to ``value`` in the ordered range."""
         i = self.index_of(value)
-        out = []
+        out: list[int] = []
         if i > 0:
             out.append(self.values[i - 1])
         if i + 1 < len(self.values):
@@ -101,7 +101,7 @@ def _arange(lo: int, hi: int, step: int) -> tuple[int, ...]:
 
 
 def _geometric(lo: int, hi: int, factor: int = 2) -> tuple[int, ...]:
-    values = []
+    values: list[int] = []
     v = lo
     while v <= hi:
         values.append(v)

@@ -79,6 +79,18 @@ class DataStore:
         digest = hashlib.sha256(key.encode()).hexdigest()[:32]
         return self.directory / f"{digest}.pkl"
 
+    def versioned_key(self, *parts: object) -> str:
+        """The blessed cache-key builder: ``s<version>/<part>/<part>/...``.
+
+        Keys built through this helper embed :attr:`schema_version`, so
+        a schema bump makes every old key unreachable *by construction*
+        (in addition to the frame-level invalidation on read).  The
+        ``RPL-C001`` lint rule requires all keys written through
+        :meth:`put` / :meth:`get_or_compute` to come from here.
+        """
+        return "/".join(str(part) for part in
+                        (f"s{self.schema_version}", *parts))
+
     # -- entry framing ---------------------------------------------------------
 
     def _frame(self, payload: bytes) -> bytes:

@@ -66,8 +66,10 @@ class RunJournal:
 
     def record(self, key: str, event: str, **fields: object) -> dict:
         """Append one event (flushed immediately; crash-safe)."""
-        entry: dict = {"ts": round(time.time(), 3), "key": key,
-                       "event": event}
+        # The timestamp is observability metadata (when did the attempt
+        # happen), never an input to any cached result or decision.
+        entry: dict = {"ts": round(time.time(), 3),  # reprolint: disable=RPL-D002
+                       "key": key, "event": event}
         entry.update({k: v for k, v in fields.items() if v is not None})
         self._records.append(entry)
         with self.path.open("a", encoding="utf-8") as handle:

@@ -169,7 +169,16 @@ class ExperimentPipeline:
     # -- per-phase data -------------------------------------------------------------
 
     def _phase_cache_key(self, program: str, phase_id: int) -> str:
-        return f"{self.scale.tag}/phase/{program}/{phase_id}"
+        return self.store.versioned_key(self.scale.tag, "phase", program,
+                                        phase_id)
+
+    def _prediction_key(self, feature_set: str) -> str:
+        return self.store.versioned_key(self.scale.tag, "predictions",
+                                        feature_set)
+
+    def _full_predictor_key(self, feature_set: str) -> str:
+        return self.store.versioned_key(self.scale.tag, "full-predictor",
+                                        feature_set)
 
     def phase_data(self, program: str, phase_id: int) -> PhaseData:
         key = self._phase_cache_key(program, phase_id)
@@ -358,7 +367,7 @@ class ExperimentPipeline:
         """Leave-one-program-out predictions for every phase (cached)."""
         if feature_set not in FEATURE_EXTRACTORS:
             raise KeyError(f"unknown feature set {feature_set!r}")
-        key = f"{self.scale.tag}/predictions/{feature_set}"
+        key = self._prediction_key(feature_set)
 
         def compute() -> dict[PhaseKey, MicroarchConfig]:
             self._log(f"leave-one-out cross-validation ({feature_set})")
@@ -377,7 +386,7 @@ class ExperimentPipeline:
         cross-validated results come from :meth:`predictions`)."""
         from repro.model.predictor import ConfigurationPredictor
 
-        key = f"{self.scale.tag}/full-predictor/{feature_set}"
+        key = self._full_predictor_key(feature_set)
 
         def compute() -> ConfigurationPredictor:
             self._log(f"training full predictor ({feature_set})")
@@ -447,7 +456,10 @@ def _phase_worker(
     differs from the previous task's — otherwise a reused worker would
     serve results for the wrong scale or write them to the wrong cache.
     """
-    global _WORKER_PIPELINE
+    # The rebind is a deliberate per-process memo: each pool worker keeps
+    # its own pipeline so the suite/pool build once per process, and the
+    # parent never reads it (results flow through the DataStore).
+    global _WORKER_PIPELINE  # reprolint: disable=RPL-P002
     if os.environ.get("REPRO_FAULTS"):  # fault-injection hook (tests/CI)
         from repro.testing.faults import inject
 

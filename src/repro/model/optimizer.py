@@ -111,7 +111,10 @@ def minimize_cg(
             fun, x, value, grad, direction, initial_step=step
         )
         evals += used
-        if taken == 0.0:
+        # ``taken == 0.0`` compares against the exact literal sentinel
+        # `_line_search` returns when no Armijo step was accepted — it is
+        # never a computed value, so exact equality is the correct test.
+        if taken == 0.0:  # reprolint: disable=RPL-N001
             # Restart along steepest descent; if that also fails, stop.
             direction = -grad
             taken, new_value, new_grad, used = _line_search(
@@ -119,7 +122,7 @@ def minimize_cg(
                 initial_step=1.0 / max(1.0, grad_norm),
             )
             evals += used
-            if taken == 0.0:
+            if taken == 0.0:  # reprolint: disable=RPL-N001
                 break
         x = x + taken * direction
         # Polak-Ribière+ beta.

@@ -1,0 +1,501 @@
+"""reprolint rule engine: per-rule fixtures, suppressions, CLI, clean tree.
+
+Each rule family gets positive (violating), negative (conforming) and
+suppressed fixture snippets, checked through the same
+:func:`repro.analysis.check_source` path the CLI uses.  The acceptance
+tests at the bottom assert the real ``src`` + ``scripts`` trees are
+clean and that deliberately introducing one violation per family makes
+the checker exit non-zero with the correct rule ID.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_paths, check_source, main, rule_by_id
+from repro.analysis.rules import ALL_RULES
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Default virtual path for fixtures: library code inside the package.
+SRC = "src/repro/experiments/example.py"
+
+
+def ids(source: str, path: str = SRC, **kwargs) -> list[str]:
+    return [d.rule for d in check_source(source, path, **kwargs)]
+
+
+def lines(source: str, path: str = SRC) -> list[tuple[str, int]]:
+    return [(d.rule, d.line) for d in check_source(source, path)]
+
+
+# ---------------------------------------------------------------------------
+# RPL-D001: unseeded randomness
+# ---------------------------------------------------------------------------
+
+
+class TestUnseededRandom:
+    def test_stdlib_module_function_flagged(self):
+        assert ids("import random\nx = random.randint(0, 5)\n") == ["RPL-D001"]
+
+    def test_stdlib_from_import_flagged(self):
+        assert ids("from random import shuffle\nshuffle(items)\n") == ["RPL-D001"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert ids("import random\nrng = random.Random()\n") == ["RPL-D001"]
+
+    def test_seeded_random_instance_ok(self):
+        assert ids("import random\nrng = random.Random(42)\n") == []
+
+    def test_numpy_legacy_global_flagged(self):
+        assert ids("import numpy as np\nx = np.random.rand(4)\n") == ["RPL-D001"]
+
+    def test_numpy_global_seed_flagged(self):
+        assert ids("import numpy as np\nnp.random.seed(3)\n") == ["RPL-D001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        assert ids(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        ) == ["RPL-D001"]
+
+    def test_seeded_default_rng_ok(self):
+        assert ids("import numpy as np\nrng = np.random.default_rng(7)\n") == []
+
+    def test_generator_method_calls_ok(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+            "x = rng.random()\n"
+            "y = rng.integers(10)\n"
+        )
+        assert ids(source) == []
+
+    def test_tests_are_exempt(self):
+        assert ids("import random\nrandom.random()\n",
+                   path="tests/test_x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-D002: wall-clock in result paths
+# ---------------------------------------------------------------------------
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_package(self):
+        assert ids("import time\nstamp = time.time()\n") == ["RPL-D002"]
+
+    def test_datetime_now_flagged(self):
+        assert ids(
+            "from datetime import datetime\nstamp = datetime.now()\n"
+        ) == ["RPL-D002"]
+
+    def test_os_urandom_flagged(self):
+        assert ids("import os\ntoken = os.urandom(8)\n") == ["RPL-D002"]
+
+    def test_monotonic_sources_allowed(self):
+        source = (
+            "import time\n"
+            "t0 = time.monotonic()\n"
+            "t1 = time.perf_counter()\n"
+        )
+        assert ids(source) == []
+
+    def test_scripts_are_exempt(self):
+        assert ids("import time\nt = time.time()\n",
+                   path="scripts/driver.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-D003: unordered set iteration
+# ---------------------------------------------------------------------------
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self):
+        assert ids("for x in set(items):\n    out.append(x)\n") == ["RPL-D003"]
+
+    def test_for_over_set_literal_flagged(self):
+        assert ids("for x in {1, 2, 3}:\n    out.append(x)\n") == ["RPL-D003"]
+
+    def test_list_of_set_flagged(self):
+        assert ids("order = list(set(items))\n") == ["RPL-D003"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert ids("out = [x for x in set(items)]\n") == ["RPL-D003"]
+
+    def test_sorted_set_ok(self):
+        assert ids("for x in sorted(set(items)):\n    out.append(x)\n") == []
+
+    def test_genexpr_inside_sorted_ok(self):
+        assert ids("out = sorted(x for x in {1, 2, 3} if x)\n") == []
+
+    def test_set_comprehension_output_ok(self):
+        # Building another set from a set: no order to corrupt.
+        assert ids("out = {x + 1 for x in set(items)}\n") == []
+
+    def test_membership_and_len_ok(self):
+        assert ids("n = len(set(items))\nhit = 3 in set(items)\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-P001 / RPL-P002: pool safety
+# ---------------------------------------------------------------------------
+
+POOL_PREAMBLE = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+class TestPoolCallable:
+    def test_lambda_submit_flagged(self):
+        source = POOL_PREAMBLE + (
+            "with ProcessPoolExecutor() as pool:\n"
+            "    fut = pool.submit(lambda: 1)\n"
+        )
+        assert ids(source) == ["RPL-P001"]
+
+    def test_lambda_map_flagged(self):
+        source = POOL_PREAMBLE + (
+            "with ProcessPoolExecutor() as pool:\n"
+            "    results = pool.map(lambda x: x + 1, items)\n"
+        )
+        assert ids(source) == ["RPL-P001"]
+
+    def test_closure_flagged(self):
+        source = POOL_PREAMBLE + (
+            "def run(items):\n"
+            "    def task(x):\n"
+            "        return x + 1\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(task, items))\n"
+        )
+        assert ids(source) == ["RPL-P001"]
+
+    def test_lambda_inside_partial_flagged(self):
+        source = POOL_PREAMBLE + (
+            "from functools import partial\n"
+            "with ProcessPoolExecutor() as pool:\n"
+            "    fut = pool.submit(partial(lambda x: x, 1))\n"
+        )
+        assert ids(source) == ["RPL-P001"]
+
+    def test_bound_method_flagged(self):
+        source = POOL_PREAMBLE + (
+            "class Runner:\n"
+            "    def task(self, x):\n"
+            "        return x\n"
+            "    def run(self, pool, items):\n"
+            "        return pool.map(self.task, items)\n"
+        )
+        assert ids(source) == ["RPL-P001"]
+
+    def test_module_level_function_ok(self):
+        source = POOL_PREAMBLE + (
+            "def task(x):\n"
+            "    return x + 1\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(task, items))\n"
+        )
+        assert ids(source) == []
+
+    def test_partial_of_module_function_ok(self):
+        source = POOL_PREAMBLE + (
+            "from functools import partial\n"
+            "def task(scale, x):\n"
+            "    return x\n"
+            "def run(pool, items):\n"
+            "    return pool.map(partial(task, 3), items)\n"
+        )
+        assert ids(source) == []
+
+    def test_stored_callable_attribute_ok(self):
+        # ``self.worker_task`` holding an injected top-level function (the
+        # PhaseRunner pattern) must not be mistaken for a bound method.
+        source = POOL_PREAMBLE + (
+            "class Runner:\n"
+            "    def __init__(self, worker_task):\n"
+            "        self.worker_task = worker_task\n"
+            "    def run(self, pool, key):\n"
+            "        return pool.submit(self.worker_task, key)\n"
+        )
+        assert ids(source) == []
+
+    def test_builtin_map_with_lambda_ok(self):
+        # Plain ``map`` over an iterable is not a pool boundary.
+        assert ids("out = list(map(str, items))\n") == []
+
+
+class TestWorkerGlobalMutation:
+    def test_global_rebind_flagged(self):
+        source = POOL_PREAMBLE + (
+            "_CACHE = None\n"
+            "def worker(x):\n"
+            "    global _CACHE\n"
+            "    _CACHE = x\n"
+        )
+        assert ids(source) == ["RPL-P002"]
+
+    def test_global_read_only_ok(self):
+        source = POOL_PREAMBLE + (
+            "_LIMIT = 5\n"
+            "def worker(x):\n"
+            "    return min(x, _LIMIT)\n"
+        )
+        assert ids(source) == []
+
+    def test_no_pool_in_module_ok(self):
+        source = (
+            "_CACHE = None\n"
+            "def setup(x):\n"
+            "    global _CACHE\n"
+            "    _CACHE = x\n"
+        )
+        assert ids(source) == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-C001: unversioned DataStore keys
+# ---------------------------------------------------------------------------
+
+
+class TestUnversionedKey:
+    def test_fstring_key_flagged(self):
+        source = "store.put(f'{tag}/phase/{pid}', value)\n"
+        assert ids(source) == ["RPL-C001"]
+
+    def test_fstring_via_variable_flagged(self):
+        source = (
+            "def write(store, tag, value):\n"
+            "    key = f'{tag}/results'\n"
+            "    store.get_or_compute(key, value)\n"
+        )
+        assert ids(source) == ["RPL-C001"]
+
+    def test_versioned_key_call_ok(self):
+        source = "store.put(store.versioned_key(tag, 'phase', pid), value)\n"
+        assert ids(source) == []
+
+    def test_local_key_builder_chain_ok(self):
+        source = (
+            "class Pipe:\n"
+            "    def _phase_cache_key(self, pid):\n"
+            "        return self.store.versioned_key(self.tag, pid)\n"
+            "    def write(self, pid, value):\n"
+            "        key = self._phase_cache_key(pid)\n"
+            "        self.store.put(key, value)\n"
+        )
+        assert ids(source) == []
+
+    def test_unversioned_key_builder_def_flagged(self):
+        source = (
+            "def results_cache_key(tag, pid):\n"
+            "    return f'{tag}/{pid}'\n"
+        )
+        assert ids(source) == ["RPL-C001"]
+
+    def test_key_parameter_trusted(self):
+        # A bare parameter: construction is the caller's responsibility.
+        source = (
+            "def write(store, key, value):\n"
+            "    store.put(key, value)\n"
+        )
+        assert ids(source) == []
+
+    def test_non_store_receiver_ok(self):
+        assert ids("queue.put(f'{tag}/item', block)\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-C002: Cacti math outside the blessed module
+# ---------------------------------------------------------------------------
+
+
+class TestBlessedCacti:
+    TIMING = "src/repro/timing/example.py"
+
+    def test_log2_in_timing_flagged(self):
+        source = "import numpy as np\nlatency = np.log2(bits)\n"
+        assert ids(source, path=self.TIMING) == ["RPL-C002"]
+
+    def test_math_log2_in_power_flagged(self):
+        source = "import math\nlatency = math.log2(bits)\n"
+        assert ids(source, path="src/repro/power/extra.py") == ["RPL-C002"]
+
+    def test_blessed_module_exempt(self):
+        source = "import numpy as np\nlatency = np.log2(bits)\n"
+        assert ids(source, path="src/repro/power/cacti.py") == []
+
+    def test_outside_scope_exempt(self):
+        source = "import math\nbins = math.log2(maximum)\n"
+        assert ids(source, path="src/repro/counters/histograms.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-N001 / RPL-N002: numeric safety
+# ---------------------------------------------------------------------------
+
+
+class TestFloatEquality:
+    def test_float_literal_equality_flagged(self):
+        assert ids("done = x == 0.5\n") == ["RPL-N001"]
+
+    def test_float_literal_inequality_flagged(self):
+        assert ids("if ratio != 1.0:\n    pass\n") == ["RPL-N001"]
+
+    def test_division_equality_flagged(self):
+        assert ids("same = a / b == c\n") == ["RPL-N001"]
+
+    def test_integer_equality_ok(self):
+        assert ids("done = count == 3\n") == []
+
+    def test_float_ordering_ok(self):
+        assert ids("big = x > 0.5\n") == []
+
+    def test_tests_exempt(self):
+        assert ids("assert x == 0.5\n", path="tests/test_y.py") == []
+
+
+class TestFloatTruncation:
+    def test_int_of_division_flagged(self):
+        assert ids("n = int(total / width)\n") == ["RPL-N002"]
+
+    def test_int_of_float_scale_flagged(self):
+        assert ids("n = int(0.5 * count)\n") == ["RPL-N002"]
+
+    def test_int_of_round_ok(self):
+        assert ids("n = int(round(total / width))\n") == []
+
+    def test_floor_division_ok(self):
+        assert ids("n = total // width\n") == []
+
+    def test_int_cast_of_name_ok(self):
+        assert ids("n = int(value)\n") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        source = "import random\nx = random.random()  # reprolint: disable=RPL-D001\n"
+        assert ids(source) == []
+
+    def test_line_suppression_wrong_rule_keeps_finding(self):
+        source = "import random\nx = random.random()  # reprolint: disable=RPL-D002\n"
+        assert ids(source) == ["RPL-D001"]
+
+    def test_file_suppression(self):
+        source = (
+            "# reprolint: disable-file=RPL-D001\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.randint(0, 3)\n"
+        )
+        assert ids(source) == []
+
+    def test_multiple_rules_one_comment(self):
+        source = (
+            "import random\n"
+            "n = int(x / y) == 0.5 or random.random()"
+            "  # reprolint: disable=RPL-D001, RPL-N001, RPL-N002\n"
+        )
+        assert ids(source) == []
+
+    def test_suppression_comment_inside_string_ignored(self):
+        source = (
+            "note = '# reprolint: disable-file=RPL-D001'\n"
+            "import random\n"
+            "x = random.random()\n"
+        )
+        assert ids(source) == ["RPL-D001"]
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_becomes_diagnostic(self):
+        assert ids("def broken(:\n") == ["RPL-E001"]
+
+    def test_diagnostic_format(self):
+        (diag,) = check_source("import random\nx = random.random()\n", SRC)
+        assert diag.render() == (
+            f"{SRC}:2:5 RPL-D001 random.random() uses the hidden global "
+            "generator; use a seeded random.Random(seed) instance"
+        )
+
+    def test_select_and_ignore(self):
+        source = "import random\nn = int(a / b)\nx = random.random()\n"
+        assert ids(source, select=["RPL-N002"]) == ["RPL-N002"]
+        assert ids(source, ignore=["RPL-N002"]) == ["RPL-D001"]
+
+    def test_rule_ids_unique_and_wellformed(self):
+        seen = [rule.id for rule in ALL_RULES]
+        assert len(seen) == len(set(seen))
+        assert all(rule.id.startswith("RPL-") for rule in ALL_RULES)
+        assert rule_by_id("rpl-d001").name == "unseeded-random"
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL-D001" in out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the real tree is clean; seeded violations are caught
+# ---------------------------------------------------------------------------
+
+
+class TestRealTree:
+    def test_src_and_scripts_are_clean(self):
+        diagnostics, checked = check_paths([REPO / "src", REPO / "scripts"])
+        rendered = "\n".join(d.render() for d in diagnostics)
+        assert not diagnostics, f"reprolint findings:\n{rendered}"
+        assert checked > 60  # the walk really covered the tree
+
+    def test_cli_process_exits_zero_on_real_tree(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src", "scripts"],
+            cwd=REPO, capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    #: One deliberate violation per rule family (the acceptance matrix).
+    SEEDED_VIOLATIONS = {
+        "RPL-D001": "import numpy as np\nrng = np.random.default_rng()\n",
+        "RPL-P001": POOL_PREAMBLE
+        + "with ProcessPoolExecutor() as pool:\n"
+          "    fut = pool.submit(lambda: 1)\n",
+        "RPL-C001": "store.put(f'{tag}/entry', value)\n",
+        "RPL-N001": "converged = error == 0.1\n",
+    }
+
+    @pytest.mark.parametrize("rule_id", sorted(SEEDED_VIOLATIONS))
+    def test_seeded_violation_fails_with_correct_rule(self, rule_id,
+                                                      tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "seeded.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.SEEDED_VIOLATIONS[rule_id])
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert rule_id in out

@@ -1,0 +1,32 @@
+"""Run mypy over the repo when it is available.
+
+mypy is a CI-only dependency — the baked-in local toolchain does not
+ship it and installing packages is off-limits — so this test skips
+cleanly where the module is absent.  The CI ``lint`` job always installs
+and runs it, with the configuration in ``pyproject.toml``: strict on
+``repro.config.*``, ``repro.power.*`` and ``repro.timing.batch``,
+permissive elsewhere.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy is a CI-only dependency")
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_mypy_clean() -> None:
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"mypy failed:\n{proc.stdout}\n{proc.stderr}"
