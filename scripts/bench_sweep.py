@@ -27,11 +27,13 @@ import platform
 import sys
 import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from pathlib import Path
 
 from repro.config.space import DesignSpace
 from repro.experiments.datastore import DataStore
-from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.pipeline import ExperimentPipeline, warm_worker
 from repro.experiments.scale import ReproScale
 from repro.timing.batch import BatchIntervalEvaluator
 from repro.timing.characterize import characterize
@@ -100,6 +102,33 @@ def bench_evaluators(pool_size: int, trace_length: int, repeats: int) -> dict:
     }
 
 
+def _noop() -> None:
+    return None
+
+
+def measure_pool_warmup(scale: ReproScale, workers: int) -> float:
+    """Seconds to spawn a ``workers``-process pool and build each worker's
+    pipeline state (suite + shared config pool).
+
+    This cost is paid once per pool, not per phase: at smoke scale it
+    dominates the fan-out wall time, which is why
+    ``workers{N}_seconds`` can exceed ``serial_seconds`` there without
+    being an engine regression.  Recorded separately so the JSON
+    trajectory reads net of it.
+    """
+    with tempfile.TemporaryDirectory() as directory:
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=partial(warm_worker, scale, directory),
+        ) as pool:
+            # One trivial task per worker forces every process (and its
+            # initializer) to actually spawn before the timer stops.
+            for future in [pool.submit(_noop) for _ in range(workers)]:
+                future.result()
+        return time.perf_counter() - t0
+
+
 def bench_pipeline(scale: ReproScale, workers: int) -> dict:
     def run(n_workers: int) -> tuple[float, dict[str, float]]:
         with tempfile.TemporaryDirectory() as directory:
@@ -124,6 +153,7 @@ def bench_pipeline(scale: ReproScale, workers: int) -> dict:
     if workers > 1:
         worker_seconds, worker_ratios = run(workers)
         result[f"workers{workers}_seconds"] = worker_seconds
+        result["pool_warmup_seconds"] = measure_pool_warmup(scale, workers)
         result["parity_ok"] = worker_ratios == serial_ratios
     return result
 

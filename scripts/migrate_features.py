@@ -18,6 +18,7 @@ for key in pipe.phase_keys:
     pipe.store.put(cache_key, data)
     migrated += 1
 for fs in ("advanced", "basic"):
-    pipe.store.delete(pipe._prediction_key(fs))
+    for mode in ("ones", "warm"):
+        pipe.store.delete(pipe._prediction_key(fs, mode))
 pipe.store.delete(pipe._full_predictor_key("advanced"))
 print(f"migrated {migrated} phase entries in {time.time()-t0:.0f}s")

@@ -59,7 +59,7 @@ from repro.experiments.journal import RunJournal
 from repro.experiments.runner import PhaseRunner, RetryPolicy
 from repro.experiments.scale import ReproScale
 from repro.experiments.sweeps import run_phase_sweep
-from repro.model.crossval import PhaseRecord, leave_one_program_out
+from repro.model.crossval import PhaseRecord
 from repro.power.metrics import EfficiencyResult
 from repro.timing.batch import BatchIntervalEvaluator
 from repro.timing.characterize import TraceCharacterization, characterize
@@ -109,6 +109,7 @@ class ExperimentPipeline:
         store: DataStore | None = None,
         verbose: bool = False,
         workers: int | None = None,
+        train_workers: int | None = None,
     ) -> None:
         self.scale = scale or ReproScale.default()
         self.store = store or DataStore()
@@ -116,6 +117,10 @@ class ExperimentPipeline:
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1"))
         self.workers = max(1, workers)
+        if train_workers is None:
+            train_workers = int(
+                os.environ.get("REPRO_TRAIN_WORKERS", str(self.workers)))
+        self.train_workers = max(1, train_workers)
         self.evaluator = BatchIntervalEvaluator()
         self._extra_evaluations: dict[PhaseKey, dict[MicroarchConfig,
                                                      EfficiencyResult]] = {}
@@ -172,9 +177,9 @@ class ExperimentPipeline:
         return self.store.versioned_key(self.scale.tag, "phase", program,
                                         phase_id)
 
-    def _prediction_key(self, feature_set: str) -> str:
+    def _prediction_key(self, feature_set: str, mode: str) -> str:
         return self.store.versioned_key(self.scale.tag, "predictions",
-                                        feature_set)
+                                        feature_set, mode)
 
     def _full_predictor_key(self, feature_set: str) -> str:
         return self.store.versioned_key(self.scale.tag, "full-predictor",
@@ -362,20 +367,46 @@ class ExperimentPipeline:
             for data in self.all_phase_data.values()
         ]
 
-    def predictions(self, feature_set: str = "advanced") -> dict[PhaseKey,
-                                                                 MicroarchConfig]:
-        """Leave-one-program-out predictions for every phase (cached)."""
+    def predictions(self, feature_set: str = "advanced",
+                    warm_start: bool = False) -> dict[PhaseKey,
+                                                      MicroarchConfig]:
+        """Leave-one-program-out predictions for every phase (cached).
+
+        Cross-validation runs through the fast engine
+        (:func:`~repro.model.fastcv.fast_leave_one_program_out`): good
+        sets and parameter datasets are assembled once, the 364
+        (fold, parameter) fits fan out over ``train_workers`` processes
+        (``REPRO_TRAIN_WORKERS``), and each trained fold's weights are
+        memoised in the store — so an interrupted or repeated sweep
+        retrains only what is missing.  The default mode's predictions
+        are bit-identical to the serial reference
+        (:func:`~repro.model.crossval.leave_one_program_out`);
+        ``warm_start=True`` opts into the accelerated warm-started mode
+        (cached under its own key).
+        """
         if feature_set not in FEATURE_EXTRACTORS:
             raise KeyError(f"unknown feature set {feature_set!r}")
-        key = self._prediction_key(feature_set)
+        mode = "warm" if warm_start else "ones"
+        key = self._prediction_key(feature_set, mode)
+
+        # Imported here: fastcv sits above the experiments package (it
+        # reuses DataStore/PhaseRunner), so a module-level import would
+        # be circular through repro.model.__init__.
+        from repro.model.fastcv import fast_leave_one_program_out
 
         def compute() -> dict[PhaseKey, MicroarchConfig]:
             self._log(f"leave-one-out cross-validation ({feature_set})")
-            return leave_one_program_out(
+            return fast_leave_one_program_out(
                 self.phase_records(feature_set),
                 regularization=self.scale.regularization,
                 threshold=self.scale.threshold,
                 max_iterations=self.scale.max_iterations,
+                warm_start=warm_start,
+                workers=self.train_workers,
+                store=self.store,
+                cache_tag=f"{self.scale.tag}/{feature_set}",
+                journal=self.journal,
+                log=self._log,
             )
 
         return self.store.get_or_compute(key, compute)
@@ -481,3 +512,29 @@ def _phase_worker_task(
 ) -> PhaseKey:
     """`PhaseRunner` task adapter: one picklable ``task(key)`` callable."""
     return _phase_worker(scale, store_dir, *key)
+
+
+def warm_worker(scale: ReproScale, store_dir: str) -> None:
+    """Build this worker process's pipeline state without computing a phase.
+
+    Pays the per-process startup cost a pool worker's first phase task
+    otherwise absorbs: the pipeline object, the synthetic suite, and the
+    shared configuration pool.  Usable as a ``ProcessPoolExecutor``
+    initializer to pre-pay that cost at spawn, and by
+    ``scripts/bench_sweep.py`` to *measure* it separately — so the
+    worker-pool wall time in ``BENCH_sweep.json`` can be read net of
+    warm-up rather than mistaken for an engine regression.
+    """
+    # Same deliberate per-process memo as _phase_worker: the parent never
+    # reads this, each pool worker warms its own copy.
+    global _WORKER_PIPELINE  # reprolint: disable=RPL-P002
+    if (
+        _WORKER_PIPELINE is None
+        or _WORKER_PIPELINE.scale != scale
+        or str(_WORKER_PIPELINE.store.directory) != store_dir
+    ):
+        _WORKER_PIPELINE = ExperimentPipeline(
+            scale, store=DataStore(store_dir), workers=1
+        )
+    _WORKER_PIPELINE.programs
+    _WORKER_PIPELINE.pool

@@ -174,6 +174,11 @@ class PhaseRunner:
         max_pool_rebuilds: pool rebuilds tolerated before degrading to
             serial in-process execution.
         describe: ``key -> str`` used for journal/backoff keys.
+        initializer: optional picklable callable run once in every pool
+            worker as it starts (``ProcessPoolExecutor`` initializer) —
+            e.g. preloading shared training material so the first work
+            item does not pay the load.  Also applies to rebuilt pools.
+        initargs: arguments for ``initializer``.
     """
 
     def __init__(
@@ -191,10 +196,14 @@ class PhaseRunner:
         describe: Callable[[Hashable], str] = str,
         log: Callable[[str], None] | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
     ) -> None:
         self.worker_task = worker_task
         self.serial_task = serial_task or worker_task
         self.workers = max(1, workers)
+        self.initializer = initializer
+        self.initargs = initargs
         self.policy = policy or RetryPolicy.from_env()
         self.timeout = phase_timeout_from_env() if timeout is None else (
             timeout if timeout > 0 else None)
@@ -420,7 +429,9 @@ class PhaseRunner:
 
     def _new_executor(self, remaining: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
-            max_workers=max(1, min(self.workers, remaining)))
+            max_workers=max(1, min(self.workers, remaining)),
+            initializer=self.initializer,
+            initargs=self.initargs)
 
     @staticmethod
     def _kill_executor(executor: ProcessPoolExecutor) -> None:

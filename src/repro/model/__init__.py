@@ -1,14 +1,16 @@
 """The predictive model: soft-max per parameter, CG training, LOO CV."""
 
 from repro.model.crossval import PhaseRecord, leave_one_program_out
+from repro.model.fastcv import FastCrossValidator, fast_leave_one_program_out
 from repro.model.quantize import QuantizedPredictor
 from repro.model.serialize import load_predictor, save_predictor
 from repro.model.optimizer import CGResult, minimize_cg
 from repro.model.predictor import ConfigurationPredictor
-from repro.model.softmax import SoftmaxClassifier
+from repro.model.softmax import RowCompression, SoftmaxClassifier
 from repro.model.training import (
     GOOD_THRESHOLD,
     TrainingSet,
+    build_full_datasets,
     build_parameter_dataset,
     good_configurations,
 )
@@ -16,12 +18,16 @@ from repro.model.training import (
 __all__ = [
     "CGResult",
     "ConfigurationPredictor",
+    "FastCrossValidator",
     "GOOD_THRESHOLD",
     "PhaseRecord",
     "QuantizedPredictor",
+    "RowCompression",
     "SoftmaxClassifier",
     "TrainingSet",
+    "build_full_datasets",
     "build_parameter_dataset",
+    "fast_leave_one_program_out",
     "good_configurations",
     "leave_one_program_out",
     "load_predictor",

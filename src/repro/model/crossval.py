@@ -36,7 +36,17 @@ class PhaseRecord:
 
     @property
     def best(self) -> tuple[MicroarchConfig, float]:
-        config = max(self.evaluations, key=self.evaluations.get)
+        """The highest-efficiency configuration, ties broken by config.
+
+        Efficiency ties are resolved by the configurations' value tuples
+        rather than dict insertion order, so the answer is a function of
+        the evaluations alone — not of the order a sweep happened to
+        produce them in.
+        """
+        config = min(
+            self.evaluations,
+            key=lambda c: (-self.evaluations[c], c.as_tuple()),
+        )
         return config, self.evaluations[config]
 
 
@@ -49,6 +59,13 @@ def leave_one_program_out(
 ) -> dict[tuple[str, int], MicroarchConfig]:
     """Predict a configuration for every phase, never training on its
     own program.
+
+    This is the straightforward reference implementation: folds run
+    serially and each fold re-selects good sets and re-builds every
+    parameter dataset from scratch.  Production sweeps should use
+    :func:`repro.model.fastcv.fast_leave_one_program_out`, which
+    produces identical predictions from shared, incrementally assembled
+    training material.
 
     Returns:
         phase key -> predicted configuration.

@@ -89,11 +89,14 @@ def minimize_cg(
     max_iterations: int = 300,
     gradient_tolerance: float = 1e-4,
     value_tolerance: float = 1e-9,
+    callback: Callable[[np.ndarray, float], None] | None = None,
 ) -> CGResult:
     """Minimise ``fun`` (returning value and gradient) from ``x0``.
 
     Polak-Ribière+ with automatic restarts (the direction resets to
     steepest descent whenever beta goes negative or the search stalls).
+    ``callback(x, value)`` is invoked after every accepted iterate, so
+    callers can record the optimisation trajectory.
     """
     x = np.asarray(x0, dtype=np.float64).copy()
     value, grad = fun(x)
@@ -125,6 +128,8 @@ def minimize_cg(
             if taken == 0.0:  # reprolint: disable=RPL-N001
                 break
         x = x + taken * direction
+        if callback is not None:
+            callback(x, new_value)
         # Polak-Ribière+ beta.
         y = new_grad - grad
         denom = float(np.dot(grad.ravel(), grad.ravel()))

@@ -9,14 +9,18 @@ fourteen independent argmaxes, one per :class:`SoftmaxClassifier`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.config.configuration import MicroarchConfig
 from repro.config.parameters import TABLE1_PARAMETERS, Parameter
 from repro.model.softmax import SoftmaxClassifier
-from repro.model.training import build_parameter_dataset, good_configurations
+from repro.model.training import (
+    TrainingSet,
+    build_parameter_dataset,
+    good_configurations,
+)
 
 __all__ = ["ConfigurationPredictor"]
 
@@ -48,23 +52,96 @@ class ConfigurationPredictor:
 
     def fit(
         self,
-        features: Sequence[np.ndarray],
-        good_sets: Sequence[Sequence[MicroarchConfig]],
+        features: Sequence[np.ndarray] | None = None,
+        good_sets: Sequence[Sequence[MicroarchConfig]] | None = None,
+        *,
+        datasets: Mapping[str, TrainingSet] | None = None,
+        initial: Mapping[str, np.ndarray] | None = None,
+        compressed: bool = False,
     ) -> "ConfigurationPredictor":
-        """Train one classifier per parameter from good-configuration sets."""
-        if not features:
-            raise ValueError("no training phases supplied")
+        """Train one classifier per parameter from good-configuration sets.
+
+        Args:
+            features: one counter vector per training phase.
+            good_sets: the good configurations of each phase (aligned).
+            datasets: prebuilt per-parameter training sets (e.g. fold
+                views from :meth:`TrainingSet.restrict`); when given,
+                ``features``/``good_sets`` are not needed and are not
+                re-assembled.
+            initial: per-parameter initial weight matrices (warm start);
+                parameters absent from the mapping start at all-ones.
+            compressed: train through the row-deduplicated objective
+                (mathematically exact, different float summation order —
+                not bit-faithful to the reference trajectory).
+        """
+        if datasets is None:
+            if not features or good_sets is None:
+                raise ValueError("no training phases supplied")
+            datasets = {
+                parameter.name: build_parameter_dataset(parameter, features,
+                                                        good_sets)
+                for parameter in self.parameters
+            }
         for parameter in self.parameters:
-            dataset = build_parameter_dataset(parameter, features, good_sets)
+            dataset = datasets[parameter.name]
             classifier = SoftmaxClassifier(
                 n_classes=parameter.cardinality,
                 regularization=self.regularization,
                 max_iterations=self.max_iterations,
             )
-            classifier.fit(dataset.x, dataset.labels,
-                           sample_weight=dataset.weights)
+            classifier.fit(
+                dataset.x, dataset.labels,
+                sample_weight=dataset.weights,
+                initial_weights=None if initial is None
+                else initial.get(parameter.name),
+                compression=dataset.compression() if compressed else None,
+            )
             self.classifiers[parameter.name] = classifier
         return self
+
+    @classmethod
+    def from_weights(
+        cls,
+        weights: Mapping[str, np.ndarray],
+        parameters: tuple[Parameter, ...] = TABLE1_PARAMETERS,
+        regularization: float = 0.5,
+    ) -> "ConfigurationPredictor":
+        """Rebuild a trained predictor from per-parameter weight matrices.
+
+        Used to rehydrate cached cross-validation folds and predictors
+        loaded from disk without re-running any training.
+
+        Raises:
+            ValueError: if a parameter's weights are missing or have the
+                wrong number of classes.
+        """
+        predictor = cls(parameters=parameters, regularization=regularization)
+        for parameter in parameters:
+            if parameter.name not in weights:
+                raise ValueError(f"missing weights for {parameter.name}")
+            matrix = np.asarray(weights[parameter.name], dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[1] != parameter.cardinality:
+                raise ValueError(
+                    f"weight shape mismatch for {parameter.name}: "
+                    f"{matrix.shape}")
+            classifier = SoftmaxClassifier(
+                n_classes=parameter.cardinality,
+                regularization=regularization,
+            )
+            classifier.weights = matrix.copy()
+            predictor.classifiers[parameter.name] = classifier
+        return predictor
+
+    def weights_state(self) -> dict[str, np.ndarray]:
+        """Per-parameter weight matrices of a trained predictor."""
+        if not self.is_trained:
+            raise RuntimeError("predictor is not trained")
+        state: dict[str, np.ndarray] = {}
+        for parameter in self.parameters:
+            weights = self.classifiers[parameter.name].weights
+            assert weights is not None
+            state[parameter.name] = weights
+        return state
 
     @property
     def is_trained(self) -> bool:
@@ -79,6 +156,35 @@ class ConfigurationPredictor:
             index = self.classifiers[parameter.name].predict(np.asarray(x))
             values[parameter.name] = parameter.values[int(index)]
         return MicroarchConfig.from_dict(values)
+
+    def predict_batch(self, x: np.ndarray) -> list[MicroarchConfig]:
+        """Eq. 2 argmax configurations for a batch of counter vectors.
+
+        One ``N x D @ D x K`` matmul per parameter instead of fourteen
+        ``D``-vector products per phase — the batched path the fast
+        cross-validation engine uses to score every phase of a held-out
+        program at once.
+
+        Args:
+            x: an ``N x D`` matrix (or a single ``D``-vector, treated as
+                a one-row batch).
+        """
+        if not self.is_trained:
+            raise RuntimeError("predictor is not trained")
+        batch = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        indices: dict[str, np.ndarray] = {}
+        for parameter in self.parameters:
+            weights = self.classifiers[parameter.name].weights
+            assert weights is not None
+            indices[parameter.name] = np.argmax(batch @ weights, axis=1)
+        return [
+            MicroarchConfig.from_dict({
+                parameter.name:
+                    parameter.values[int(indices[parameter.name][row])]
+                for parameter in self.parameters
+            })
+            for row in range(len(batch))
+        ]
 
     def predict_proba(self, x: np.ndarray) -> dict[str, np.ndarray]:
         """Per-parameter soft-max distributions for ``x``."""

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.config.parameters import TABLE1_PARAMETERS, parameter_by_name
 from repro.model.predictor import ConfigurationPredictor
-from repro.model.softmax import SoftmaxClassifier
 
 __all__ = ["save_predictor", "load_predictor"]
 
@@ -40,10 +39,8 @@ def save_predictor(predictor: ConfigurationPredictor,
             [p.name for p in predictor.parameters], dtype="U32"
         ),
     }
-    for parameter in predictor.parameters:
-        classifier = predictor.classifiers[parameter.name]
-        assert classifier.weights is not None
-        arrays[f"weights_{parameter.name}"] = classifier.weights
+    for name, weights in predictor.weights_state().items():
+        arrays[f"weights_{name}"] = weights
     np.savez_compressed(path, **arrays)
     return path
 
@@ -64,20 +61,8 @@ def load_predictor(path: str | Path) -> ConfigurationPredictor:
         if unknown:
             raise ValueError(f"unknown parameters in file: {sorted(unknown)}")
         parameters = tuple(parameter_by_name(n) for n in names)
-        predictor = ConfigurationPredictor(
+        return ConfigurationPredictor.from_weights(
+            {name: data[f"weights_{name}"] for name in names},
             parameters=parameters,
             regularization=float(data["__regularization__"][0]),
         )
-        for parameter in parameters:
-            weights = data[f"weights_{parameter.name}"]
-            if weights.shape[1] != parameter.cardinality:
-                raise ValueError(
-                    f"weight shape mismatch for {parameter.name}"
-                )
-            classifier = SoftmaxClassifier(
-                n_classes=parameter.cardinality,
-                regularization=predictor.regularization,
-            )
-            classifier.weights = weights.copy()
-            predictor.classifiers[parameter.name] = classifier
-    return predictor

@@ -16,8 +16,14 @@ import numpy as np
 
 from repro.config.configuration import MicroarchConfig
 from repro.config.parameters import Parameter
+from repro.model.softmax import RowCompression
 
-__all__ = ["good_configurations", "build_parameter_dataset", "TrainingSet"]
+__all__ = [
+    "good_configurations",
+    "build_parameter_dataset",
+    "build_full_datasets",
+    "TrainingSet",
+]
 
 #: The paper's goodness threshold: within 5% of the best.
 GOOD_THRESHOLD = 0.05
@@ -66,6 +72,50 @@ class TrainingSet:
         """Uncompressed sample count (sum of weights)."""
         return int(self.weights.sum())
 
+    @property
+    def n_phases(self) -> int:
+        """Number of distinct input phases contributing rows."""
+        return len(set(self.phase_ids))
+
+    def restrict(self, keep_phases: np.ndarray) -> "TrainingSet":
+        """The rows contributed by the phases where ``keep_phases`` is true.
+
+        This is the incremental-assembly primitive of the fast
+        cross-validation engine: a leave-one-out fold's training set is a
+        row mask over the full-suite dataset, not a fresh
+        :func:`build_parameter_dataset` run.  The masked arrays are
+        bit-identical to those a fresh build over the kept phases would
+        produce (same rows, same order, same float64 values), and
+        ``phase_ids`` are renumbered to the kept phases' local indices —
+        exactly what the fresh build would have assigned.
+        """
+        keep_phases = np.asarray(keep_phases, dtype=bool)
+        phase_ids = np.asarray(self.phase_ids, dtype=np.int64)
+        if phase_ids.size and int(phase_ids.max()) >= len(keep_phases):
+            raise ValueError("keep_phases shorter than the phase id range")
+        keep_rows = keep_phases[phase_ids]
+        if not keep_rows.any():
+            raise ValueError("row mask removes every training row")
+        local = np.cumsum(keep_phases) - 1
+        return TrainingSet(
+            parameter=self.parameter,
+            x=self.x[keep_rows],
+            labels=self.labels[keep_rows],
+            weights=self.weights[keep_rows],
+            phase_ids=tuple(int(i) for i in local[phase_ids[keep_rows]]),
+        )
+
+    def compression(self) -> RowCompression:
+        """Row-deduplication structure keyed by the contributing phase.
+
+        Rows from the same phase share one counter vector (they differ
+        only in label), and :func:`build_parameter_dataset` emits them
+        contiguously — so grouping by ``phase_ids`` captures every
+        duplicate row without comparing row contents.
+        """
+        return RowCompression.from_grouped(
+            self.x, np.asarray(self.phase_ids, dtype=np.int64))
+
 
 def build_parameter_dataset(
     parameter: Parameter,
@@ -104,3 +154,21 @@ def build_parameter_dataset(
         weights=np.asarray(weights, dtype=np.float64),
         phase_ids=tuple(phase_ids),
     )
+
+
+def build_full_datasets(
+    parameters: Sequence[Parameter],
+    features: Sequence[np.ndarray],
+    good_sets: Sequence[Sequence[MicroarchConfig]],
+) -> dict[str, TrainingSet]:
+    """One full-suite :class:`TrainingSet` per parameter, built once.
+
+    Cross-validation folds are then materialised with
+    :meth:`TrainingSet.restrict` instead of re-running the per-phase
+    label-count assembly once per fold and parameter.
+    """
+    return {
+        parameter.name: build_parameter_dataset(parameter, features,
+                                                good_sets)
+        for parameter in parameters
+    }

@@ -55,6 +55,29 @@ class TestLeaveOneOut:
         assert value == 100.0
         assert records[0].evaluations[config] == 100.0
 
+    def test_best_ties_broken_by_config_not_insertion_order(self):
+        """Regression: efficiency ties used to be resolved by dict
+        insertion order, so two sweeps producing the same evaluations in
+        different orders disagreed on the best configuration."""
+        space = DesignSpace(seed=4)
+        first, second = space.random_sample(2)
+        winner = min(first, second, key=lambda c: c.as_tuple())
+        one_order = PhaseRecord(
+            program="p", phase_id=0, features=np.ones(2),
+            evaluations={first: 1.0, second: 1.0})
+        other_order = PhaseRecord(
+            program="p", phase_id=0, features=np.ones(2),
+            evaluations={second: 1.0, first: 1.0})
+        assert one_order.best == other_order.best == (winner, 1.0)
+
+    def test_best_still_prefers_higher_efficiency(self):
+        space = DesignSpace(seed=5)
+        low, high = space.random_sample(2)
+        record = PhaseRecord(
+            program="p", phase_id=0, features=np.ones(2),
+            evaluations={low: 1.0, high: 2.0})
+        assert record.best == (high, 2.0)
+
     def test_holdout_is_honoured(self):
         """A phase key appears exactly once, predicted by the fold that
         excluded its program."""

@@ -1,0 +1,172 @@
+"""Tests for the fast leave-one-program-out cross-validation engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import DesignSpace, TABLE1_PARAMETERS
+from repro.experiments.datastore import DataStore
+from repro.model import (
+    FastCrossValidator,
+    PhaseRecord,
+    fast_leave_one_program_out,
+    leave_one_program_out,
+)
+
+
+def records_for(programs, phases_per_program=3, seed=0):
+    """Simple learnable suite (same shape as the crossval tests)."""
+    rng = np.random.default_rng(seed)
+    space = DesignSpace(seed=seed)
+    pool = space.random_sample(10)
+    records = []
+    for program in programs:
+        for phase in range(phases_per_program):
+            knob = rng.random()
+            x = np.array([knob, 1.0])
+            best = pool[0].with_value("width", 8 if knob > 0.5 else 2)
+            evaluations = {c: 10.0 for c in pool}
+            evaluations[best] = 100.0
+            records.append(PhaseRecord(program=program, phase_id=phase,
+                                       features=x, evaluations=evaluations))
+    return records
+
+
+def structured_records(n_programs=6, phases_per_program=4, n_features=8,
+                       pool_size=40, seed=0):
+    """A suite whose ideal configuration is a shared function of the
+    features, so leave-one-out folds genuinely generalise — the shape on
+    which warm-started and cold fits agree at convergence."""
+    rng = np.random.default_rng(seed)
+    pool = DesignSpace(seed=seed + 1).random_sample(pool_size)
+    parameters = TABLE1_PARAMETERS
+    projection = rng.normal(size=(len(parameters), n_features))
+    projection /= np.sqrt(n_features)
+    fractions = np.array([
+        [parameter.index_of(config[parameter.name])
+         / max(1, parameter.cardinality - 1)
+         for parameter in parameters]
+        for config in pool
+    ])
+    records = []
+    for program_index in range(n_programs):
+        for phase_id in range(phases_per_program):
+            z = rng.normal(size=n_features)
+            ideal = 0.5 + 0.5 * np.tanh(projection @ z)
+            distance = np.mean(np.abs(fractions - ideal), axis=1)
+            noise = rng.normal(scale=0.004, size=len(pool))
+            scores = 1.0 - 0.8 * distance + noise
+            records.append(PhaseRecord(
+                program=f"prog{program_index}", phase_id=phase_id,
+                features=z,
+                evaluations={config: float(score)
+                             for config, score in zip(pool, scores)},
+            ))
+    return records
+
+
+class TestDefaultModeParity:
+    def test_identical_to_serial_reference(self):
+        """The headline contract: incremental assembly changes nothing."""
+        records = records_for(["a", "b", "c", "d"], phases_per_program=4)
+        serial = leave_one_program_out(records, max_iterations=40)
+        fast = fast_leave_one_program_out(records, max_iterations=40)
+        assert fast == serial
+
+    def test_identical_on_structured_suite(self):
+        records = structured_records(n_programs=4, phases_per_program=3)
+        serial = leave_one_program_out(records, max_iterations=60)
+        fast = fast_leave_one_program_out(records, max_iterations=60)
+        assert fast == serial
+
+    def test_workers_parity(self, tmp_path):
+        """The fold fan-out lands on the same predictions as serial."""
+        records = records_for(["a", "b", "c"], phases_per_program=3)
+        serial = leave_one_program_out(records, max_iterations=30)
+        fast = fast_leave_one_program_out(
+            records, max_iterations=30, workers=2,
+            store=DataStore(tmp_path))
+        assert fast == serial
+
+
+class TestFoldCaching:
+    def test_second_run_reuses_fold_weights(self, tmp_path):
+        records = records_for(["a", "b", "c"], phases_per_program=2)
+        store = DataStore(tmp_path)
+        first = fast_leave_one_program_out(records, max_iterations=30,
+                                           store=store)
+        misses = store.misses
+        assert misses > 0
+        hits_before = store.hits
+        second = fast_leave_one_program_out(records, max_iterations=30,
+                                            store=store)
+        assert second == first
+        assert store.misses == misses  # nothing retrained
+        # one hit per (fold, parameter)
+        assert store.hits - hits_before == 3 * len(TABLE1_PARAMETERS)
+
+    def test_fingerprint_tracks_inputs_and_mode(self):
+        records = records_for(["a", "b", "c"])
+        base = FastCrossValidator(records, max_iterations=30)
+        warm = FastCrossValidator(records, max_iterations=30,
+                                  warm_start=True)
+        other_iters = FastCrossValidator(records, max_iterations=31)
+        tagged = FastCrossValidator(records, max_iterations=30,
+                                    cache_tag="quick")
+        fingerprints = [base.fingerprint, warm.fingerprint,
+                        other_iters.fingerprint, tagged.fingerprint]
+        assert len(set(fingerprints)) == 4
+        # Same inputs -> same fingerprint (cache is actually reusable).
+        again = FastCrossValidator(records_for(["a", "b", "c"]),
+                                   max_iterations=30)
+        assert again.fingerprint == base.fingerprint
+
+    def test_quarantined_fits_fall_back_to_in_process(self, tmp_path,
+                                                      monkeypatch):
+        """Even if the fan-out completes nothing, run() still returns a
+        complete prediction set (coordinator trains in-process)."""
+        records = records_for(["a", "b", "c"], phases_per_program=2)
+        validator = FastCrossValidator(records, max_iterations=30,
+                                       workers=2,
+                                       store=DataStore(tmp_path))
+        monkeypatch.setattr(FastCrossValidator, "_fan_out",
+                            lambda self, store, missing: None)
+        predictions = validator.run()
+        assert set(predictions) == {r.key for r in records}
+
+
+class TestWarmStart:
+    def test_agrees_with_cold_at_convergence(self):
+        """Warm starts follow a different float trajectory to the same
+        strictly-convex optimum: at a convergence-level CG budget the
+        predicted configurations agree on (nearly) every phase."""
+        records = structured_records(n_programs=5, phases_per_program=3)
+        cold = fast_leave_one_program_out(records, max_iterations=2000)
+        warm = fast_leave_one_program_out(records, max_iterations=2000,
+                                          warm_start=True)
+        agree = sum(cold[key] == warm[key] for key in cold)
+        assert agree / len(cold) >= 0.8
+
+    def test_warm_and_default_caches_are_disjoint(self, tmp_path):
+        records = records_for(["a", "b", "c"], phases_per_program=2)
+        store = DataStore(tmp_path)
+        fast_leave_one_program_out(records, max_iterations=30, store=store)
+        misses = store.misses
+        fast_leave_one_program_out(records, max_iterations=30, store=store,
+                                   warm_start=True)
+        # Warm mode trained its own fits (plus the all-data model)
+        # rather than reusing paper-faithful entries.
+        assert store.misses > misses
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fast_leave_one_program_out([])
+
+    def test_needs_two_programs(self):
+        with pytest.raises(ValueError):
+            fast_leave_one_program_out(records_for(["solo"]))
+
+    def test_fan_out_requires_store(self):
+        with pytest.raises(ValueError):
+            FastCrossValidator(records_for(["a", "b"]), workers=2)

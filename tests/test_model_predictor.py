@@ -92,6 +92,59 @@ class TestFit:
             assert len(probs[parameter.name]) == parameter.cardinality
 
 
+class TestPredictBatch:
+    def test_matches_per_row_predict(self):
+        features, goods = synthetic_phases(n_phases=20)
+        predictor = ConfigurationPredictor(max_iterations=60).fit(
+            features, goods)
+        batch = np.vstack(features)
+        assert predictor.predict_batch(batch) == [
+            predictor.predict(x) for x in features
+        ]
+
+    def test_single_vector_is_one_row_batch(self):
+        features, goods = synthetic_phases(n_phases=10)
+        predictor = ConfigurationPredictor(max_iterations=30).fit(
+            features, goods)
+        result = predictor.predict_batch(features[0])
+        assert result == [predictor.predict(features[0])]
+
+    def test_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            ConfigurationPredictor().predict_batch(np.zeros((2, 3)))
+
+
+class TestWeightsRoundTrip:
+    def test_from_weights_reproduces_predictions(self):
+        features, goods = synthetic_phases(n_phases=15)
+        trained = ConfigurationPredictor(max_iterations=40).fit(
+            features, goods)
+        rebuilt = ConfigurationPredictor.from_weights(
+            trained.weights_state())
+        batch = np.vstack(features)
+        assert rebuilt.predict_batch(batch) == trained.predict_batch(batch)
+
+    def test_missing_parameter_rejected(self):
+        features, goods = synthetic_phases(n_phases=8)
+        state = ConfigurationPredictor(max_iterations=20).fit(
+            features, goods).weights_state()
+        state.pop("width")
+        with pytest.raises(ValueError):
+            ConfigurationPredictor.from_weights(state)
+
+    def test_wrong_shape_rejected(self):
+        features, goods = synthetic_phases(n_phases=8)
+        state = ConfigurationPredictor(max_iterations=20).fit(
+            features, goods).weights_state()
+        state["width"] = state["width"][:, :-1]
+        with pytest.raises(ValueError):
+            ConfigurationPredictor.from_weights(state)
+
+    def test_weights_state_requires_training(self):
+        with pytest.raises(RuntimeError):
+            ConfigurationPredictor().weights_state()
+
+
 class TestValidation:
     def test_predict_before_fit(self):
         with pytest.raises(RuntimeError):

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.config import DesignSpace, parameter_by_name
-from repro.model import build_parameter_dataset, good_configurations
+from repro.model import (
+    build_full_datasets,
+    build_parameter_dataset,
+    good_configurations,
+)
 
 
 @pytest.fixture
@@ -93,3 +97,80 @@ class TestBuildDataset:
         parameter = parameter_by_name("width")
         with pytest.raises(ValueError):
             build_parameter_dataset(parameter, [np.zeros(2)], [[]])
+
+
+def suite_inputs(space, n_phases=5, goods_per_phase=4, seed=0):
+    rng = np.random.default_rng(seed)
+    features = [rng.normal(size=3) for _ in range(n_phases)]
+    good_sets = [space.random_sample(goods_per_phase)
+                 for _ in range(n_phases)]
+    return features, good_sets
+
+
+class TestRestrict:
+    def test_bitwise_equals_fresh_build(self, space):
+        """The fast-CV contract: masking the full-suite dataset produces
+        byte-for-byte the arrays a fresh build over the kept phases would."""
+        parameter = parameter_by_name("width")
+        features, good_sets = suite_inputs(space)
+        full = build_parameter_dataset(parameter, features, good_sets)
+        keep = np.array([True, False, True, True, False])
+        masked = full.restrict(keep)
+        fresh = build_parameter_dataset(
+            parameter,
+            [f for f, k in zip(features, keep) if k],
+            [g for g, k in zip(good_sets, keep) if k],
+        )
+        assert masked.x.tobytes() == fresh.x.tobytes()
+        assert masked.labels.tobytes() == fresh.labels.tobytes()
+        assert masked.weights.tobytes() == fresh.weights.tobytes()
+        assert masked.phase_ids == fresh.phase_ids
+
+    def test_renumbers_phase_ids_to_local_indices(self, space):
+        parameter = parameter_by_name("width")
+        features, good_sets = suite_inputs(space, n_phases=4)
+        full = build_parameter_dataset(parameter, features, good_sets)
+        masked = full.restrict(np.array([False, True, False, True]))
+        assert set(masked.phase_ids) == {0, 1}
+        assert masked.n_phases == 2
+
+    def test_empty_result_rejected(self, space):
+        parameter = parameter_by_name("width")
+        features, good_sets = suite_inputs(space, n_phases=3)
+        full = build_parameter_dataset(parameter, features, good_sets)
+        with pytest.raises(ValueError):
+            full.restrict(np.zeros(3, dtype=bool))
+
+    def test_short_mask_rejected(self, space):
+        parameter = parameter_by_name("width")
+        features, good_sets = suite_inputs(space, n_phases=3)
+        full = build_parameter_dataset(parameter, features, good_sets)
+        with pytest.raises(ValueError):
+            full.restrict(np.array([True, True]))
+
+
+class TestCompression:
+    def test_groups_rows_by_phase(self, space):
+        parameter = parameter_by_name("width")
+        features, good_sets = suite_inputs(space, goods_per_phase=6)
+        dataset = build_parameter_dataset(parameter, features, good_sets)
+        compression = dataset.compression()
+        assert compression.n_unique == dataset.n_phases
+        # Expansion reproduces the original (repeated-row) matrix.
+        assert (compression.unique_x[compression.inverse]
+                == dataset.x).all()
+
+
+class TestBuildFullDatasets:
+    def test_one_dataset_per_parameter(self, space):
+        parameters = [parameter_by_name("width"),
+                      parameter_by_name("rob_size")]
+        features, good_sets = suite_inputs(space)
+        datasets = build_full_datasets(parameters, features, good_sets)
+        assert set(datasets) == {"width", "rob_size"}
+        for parameter in parameters:
+            expected = build_parameter_dataset(parameter, features,
+                                               good_sets)
+            dataset = datasets[parameter.name]
+            assert dataset.x.tobytes() == expected.x.tobytes()
+            assert dataset.labels.tolist() == expected.labels.tolist()
