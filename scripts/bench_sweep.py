@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 from pathlib import Path
 
+from repro import obs
 from repro.config.space import DesignSpace
 from repro.experiments.datastore import DataStore
 from repro.experiments.pipeline import ExperimentPipeline, warm_worker
@@ -220,6 +221,11 @@ def main(argv: list[str] | None = None) -> int:
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    if obs.enabled():  # REPRO_OBS=1: merge worker shards and export
+        paths = obs.export_all()
+        print(obs.render_summary(obs.merge_records()))
+        print(f"wrote {paths['trace']} (open in https://ui.perfetto.dev)")
 
     failures = []
     if not args.skip_pipeline and not report["pipeline"]["parity_ok"]:

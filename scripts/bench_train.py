@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.config.parameters import TABLE1_PARAMETERS
 from repro.config.space import DesignSpace
 from repro.experiments.datastore import DataStore
@@ -231,6 +232,11 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    if obs.enabled():  # REPRO_OBS=1: merge worker shards and export
+        paths = obs.export_all()
+        print(obs.render_summary(obs.merge_records()))
+        print(f"wrote {paths['trace']} (open in https://ui.perfetto.dev)")
 
     failures = []
     if not results["default_parity"]["exact"]:

@@ -19,6 +19,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.experiments import DataStore, ExperimentPipeline, ReproScale
 from repro.experiments.errors import QuarantinedPhaseError
 
@@ -100,6 +101,22 @@ def main() -> int:
               "per-phase evaluations match the fault-free run")
         check(faulted.suite_ratios(faulted.oracle) == reference_ratios,
               "oracle suite ratios match bit-for-bit")
+
+        if obs.enabled():
+            # REPRO_OBS=1 in CI: the exporter must survive a run whose
+            # workers crashed and hung mid-span.
+            paths = obs.export_all()
+            records = obs.merge_records()
+            span_pids = {r.get("pid") for r in records
+                         if r.get("t") == "span"}
+            check(len(span_pids) >= 2,
+                  f"merged trace has spans from >= 2 processes "
+                  f"(got {len(span_pids)})")
+            snap = obs.metrics_snapshot(records)
+            check(snap["counters"].get("runner.retry", 0) >= 1,
+                  "metrics snapshot recorded the injected retries")
+            print(obs.render_summary(records), flush=True)
+            print(f"[fault-drill] wrote {paths['trace']}", flush=True)
     if failures:
         print(f"[fault-drill] FAILED: {len(failures)} check(s): "
               + "; ".join(failures), file=sys.stderr, flush=True)

@@ -16,6 +16,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.experiments import ExperimentPipeline, ReproScale
 from repro.experiments import figures as F
 
@@ -57,6 +58,14 @@ def main() -> None:
               flush=True)
     (out_dir / "ALL.txt").write_text("\n".join(combined))
     print(f"[report] wrote {len(jobs)} experiments to {out_dir}/")
+
+    if obs.enabled():  # REPRO_OBS=1: export + include metrics in reports/
+        paths = obs.export_all()
+        summary = obs.render_summary(obs.merge_records())
+        (out_dir / "observability.txt").write_text(summary + "\n")
+        print(summary)
+        print(f"[report] wrote {paths['trace']} "
+              "(open in https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

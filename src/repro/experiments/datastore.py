@@ -39,6 +39,7 @@ import tempfile
 from pathlib import Path
 from typing import Callable, TypeVar
 
+from repro import obs
 from repro.experiments.errors import StaleCodeError
 
 __all__ = ["DataStore"]
@@ -121,8 +122,10 @@ class DataStore:
         path.unlink(missing_ok=True)
         if reason == "stale-version":
             self.invalidations += 1
+            obs.inc("datastore.stale")
         else:
             self.corruptions += 1
+            obs.inc("datastore.corrupt")
         return KeyError(f"{reason} cache entry {key_hint}")
 
     def contains(self, key: str, verify: bool = True) -> bool:
@@ -222,8 +225,10 @@ class DataStore:
                 pass  # corrupt/stale: fall through to recompute and re-store
             else:
                 self.hits += 1
+                obs.inc("datastore.hit")
                 return value
         self.misses += 1
+        obs.inc("datastore.miss")
         value = compute()
         self.put(key, value)
         return value

@@ -21,6 +21,8 @@ from collections import Counter
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro.obs.shards import append_jsonl_line
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.datastore import DataStore
 
@@ -72,8 +74,10 @@ class RunJournal:
                        "key": key, "event": event}
         entry.update({k: v for k, v in fields.items() if v is not None})
         self._records.append(entry)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        # O_APPEND single-write framing: pool workers and the parent
+        # append to one journal concurrently, and a buffered text-mode
+        # append may split a line across several underlying writes.
+        append_jsonl_line(self.path, json.dumps(entry, sort_keys=True))
         return entry
 
     # -- reading ---------------------------------------------------------------

@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.config.configuration import MicroarchConfig
 from repro.config.space import DesignSpace
 from repro.counters.collector import PhaseCounters, collect_counters
@@ -194,20 +195,25 @@ class ExperimentPipeline:
                 from repro.testing.faults import inject
 
                 inject("compute", f"{program}/{phase_id}")
-            trace = self.phase_trace(program, phase_id)
-            warm = self.programs[program].phase_warm_trace(phase_id)
-            counters = collect_counters(trace, warm_trace=warm)
-            features = {
-                name: extractor.extract(counters)
-                for name, extractor in FEATURE_EXTRACTORS.items()
-            }
-            char = characterize(trace, warm_trace=warm)
-            sweep = run_phase_sweep(
-                char,
-                self.pool,
-                neighbour_count=self.scale.neighbour_count,
-                seed=stable_hash(self.scale.tag, program, phase_id, "sweep"),
-            )
+            with obs.span("phase.compute", program=program, phase=phase_id):
+                trace = self.phase_trace(program, phase_id)
+                warm = self.programs[program].phase_warm_trace(phase_id)
+                with obs.span("phase.profile"):
+                    counters = collect_counters(trace, warm_trace=warm)
+                    features = {
+                        name: extractor.extract(counters)
+                        for name, extractor in FEATURE_EXTRACTORS.items()
+                    }
+                with obs.span("phase.characterize"):
+                    char = characterize(trace, warm_trace=warm)
+                with obs.span("phase.sweep"):
+                    sweep = run_phase_sweep(
+                        char,
+                        self.pool,
+                        neighbour_count=self.scale.neighbour_count,
+                        seed=stable_hash(self.scale.tag, program, phase_id,
+                                         "sweep"),
+                    )
             return PhaseData(
                 program=program,
                 phase_id=phase_id,
@@ -299,7 +305,10 @@ class ExperimentPipeline:
                 f"prefetching {len(missing)} phases on {workers} workers")
         runner = self.phase_runner(workers=workers, policy=policy,
                                    timeout=timeout)
-        outcomes = runner.run(missing)
+        with obs.span("pipeline.prefetch", missing=len(missing),
+                      workers=workers):
+            outcomes = runner.run(missing)
+        obs.flush()  # metrics gathered so far survive even a later crash
         computed = [key for key, outcome in outcomes.items()
                     if outcome.status == "computed"]
         not_done = sorted(
@@ -396,18 +405,20 @@ class ExperimentPipeline:
 
         def compute() -> dict[PhaseKey, MicroarchConfig]:
             self._log(f"leave-one-out cross-validation ({feature_set})")
-            return fast_leave_one_program_out(
-                self.phase_records(feature_set),
-                regularization=self.scale.regularization,
-                threshold=self.scale.threshold,
-                max_iterations=self.scale.max_iterations,
-                warm_start=warm_start,
-                workers=self.train_workers,
-                store=self.store,
-                cache_tag=f"{self.scale.tag}/{feature_set}",
-                journal=self.journal,
-                log=self._log,
-            )
+            with obs.span("cv.predictions", feature_set=feature_set,
+                          mode=mode):
+                return fast_leave_one_program_out(
+                    self.phase_records(feature_set),
+                    regularization=self.scale.regularization,
+                    threshold=self.scale.threshold,
+                    max_iterations=self.scale.max_iterations,
+                    warm_start=warm_start,
+                    workers=self.train_workers,
+                    store=self.store,
+                    cache_tag=f"{self.scale.tag}/{feature_set}",
+                    journal=self.journal,
+                    log=self._log,
+                )
 
         return self.store.get_or_compute(key, compute)
 
@@ -421,17 +432,18 @@ class ExperimentPipeline:
 
         def compute() -> ConfigurationPredictor:
             self._log(f"training full predictor ({feature_set})")
-            data = list(self.all_phase_data.values())
-            predictor = ConfigurationPredictor(
-                regularization=self.scale.regularization,
-                max_iterations=self.scale.max_iterations,
-            )
-            predictor.fit_evaluations(
-                [d.features[feature_set] for d in data],
-                [{c: r.efficiency for c, r in d.evaluations.items()}
-                 for d in data],
-                threshold=self.scale.threshold,
-            )
+            with obs.span("cv.full_predictor", feature_set=feature_set):
+                data = list(self.all_phase_data.values())
+                predictor = ConfigurationPredictor(
+                    regularization=self.scale.regularization,
+                    max_iterations=self.scale.max_iterations,
+                )
+                predictor.fit_evaluations(
+                    [d.features[feature_set] for d in data],
+                    [{c: r.efficiency for c, r in d.evaluations.items()}
+                     for d in data],
+                    threshold=self.scale.threshold,
+                )
             return predictor
 
         return self.store.get_or_compute(key, compute)
@@ -504,6 +516,9 @@ def _phase_worker(
             scale, store=DataStore(store_dir), workers=1
         )
     _WORKER_PIPELINE.phase_data(program, phase_id)
+    # Pool workers can be terminated without running atexit hooks, so
+    # cumulative metric totals are flushed after every completed phase.
+    obs.flush()
     return (program, phase_id)
 
 

@@ -37,6 +37,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from repro import obs
 from repro.experiments.errors import (
     CorruptInputError,
     FaultClass,
@@ -119,6 +120,7 @@ def retry_call(
         except Exception as error:
             failures += 1
             fault = classify(error)
+            obs.inc("runner.failure")
             if journal is not None:
                 journal.record(key, "failure", attempt=failures,
                                duration=round(time.monotonic() - started, 3),
@@ -128,6 +130,7 @@ def retry_call(
                 raise
             if fault is FaultClass.CORRUPT_INPUT and invalidate is not None:
                 invalidate()
+            obs.inc("runner.retry")
             sleep(policy.delay(key, failures))
         else:
             if journal is not None:
@@ -248,10 +251,14 @@ class PhaseRunner:
         self._attempts = {key: 0 for key in work}
         self._failures = {key: 0 for key in work}
         self._outcomes = outcomes
-        if self.workers <= 1 or len(work) == 1:
-            self._run_serial(work)
-        else:
-            self._run_pool(work)
+        pooled = self.workers > 1 and len(work) > 1
+        with obs.span("runner.run", items=len(work),
+                      mode="pool" if pooled else "serial",
+                      workers=self.workers):
+            if pooled:
+                self._run_pool(work)
+            else:
+                self._run_serial(work)
         return outcomes
 
     # -- serial path -----------------------------------------------------------
@@ -352,9 +359,11 @@ class PhaseRunner:
                     in_flight.clear()
                     rebuilds += 1
                     self._record(None, "pool-rebuild", attempt=rebuilds)
+                    obs.inc("runner.pool_rebuild")
                     self._kill_executor(executor)
                     if rebuilds > self.max_pool_rebuilds:
                         self._record(None, "degrade-serial")
+                        obs.inc("runner.degrade_serial")
                         self._log(
                             f"pool broke {rebuilds}x: degrading to serial")
                         self._run_serial([key for _, key in sorted(
@@ -403,6 +412,7 @@ class PhaseRunner:
         key = flight.key
         self._failures[key] += 1
         fault = classify(error)
+        obs.inc(f"runner.{event}")
         self._record(key, event, attempt=self._attempts[key],
                      duration=round(time.monotonic() - flight.started, 3),
                      error=f"{type(error).__name__}: {error}",
@@ -413,11 +423,13 @@ class PhaseRunner:
             return
         if fault is FaultClass.CORRUPT_INPUT and self.invalidate is not None:
             self.invalidate(key)
+        obs.inc("runner.retry")
         delay = self.policy.delay(self.describe(key), self._failures[key])
         waiting.append((time.monotonic() + delay, key))
 
     def _quarantine(self, key: Hashable, error: Exception) -> None:
         message = f"{type(error).__name__}: {error}"
+        obs.inc("runner.quarantine")
         self._record(key, "quarantine", attempt=self._attempts.get(key),
                      error=message)
         self._log(f"quarantining {self.describe(key)}: {message}")

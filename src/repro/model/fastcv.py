@@ -45,6 +45,7 @@ from typing import Callable, Hashable, Sequence, cast
 
 import numpy as np
 
+from repro import obs
 from repro.config.configuration import MicroarchConfig
 from repro.config.parameters import TABLE1_PARAMETERS, Parameter
 from repro.experiments.datastore import DataStore
@@ -137,25 +138,27 @@ def _train_fold(material: _FoldMaterial, held_out: str,
     trajectory (and the returned weights) match the serial reference
     exactly.
     """
-    dataset = material.datasets[parameter_name]
-    keep = np.asarray(
-        [program != held_out for program in material.program_of_phase],
-        dtype=bool)
-    fold = dataset.restrict(keep)
-    classifier = SoftmaxClassifier(
-        n_classes=dataset.parameter.cardinality,
-        regularization=material.regularization,
-        max_iterations=material.max_iterations,
-    )
-    classifier.fit(
-        fold.x, fold.labels, sample_weight=fold.weights,
-        initial_weights=(None if material.initial is None
-                         else material.initial[parameter_name]),
-        compression=fold.compression() if material.compressed else None,
-    )
-    weights = classifier.weights
-    assert weights is not None
-    return weights
+    with obs.span("cv.fold", held_out=held_out, parameter=parameter_name):
+        dataset = material.datasets[parameter_name]
+        keep = np.asarray(
+            [program != held_out for program in material.program_of_phase],
+            dtype=bool)
+        fold = dataset.restrict(keep)
+        classifier = SoftmaxClassifier(
+            n_classes=dataset.parameter.cardinality,
+            regularization=material.regularization,
+            max_iterations=material.max_iterations,
+        )
+        classifier.fit(
+            fold.x, fold.labels, sample_weight=fold.weights,
+            initial_weights=(None if material.initial is None
+                             else material.initial[parameter_name]),
+            compression=fold.compression() if material.compressed else None,
+        )
+        weights = classifier.weights
+        assert weights is not None
+        obs.inc("cv.folds_trained")
+        return weights
 
 
 def _fold_worker_task(store_dir: str, fingerprint: str,
@@ -169,6 +172,8 @@ def _fold_worker_task(store_dir: str, fingerprint: str,
         _fold_key(store, fingerprint, held_out, parameter_name),
         partial(_train_fold, material, held_out, parameter_name),
     )
+    # Terminated pool workers skip atexit hooks; flush per completed fit.
+    obs.flush()
     return key
 
 

@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.model.optimizer import CGResult, minimize_cg
 
 __all__ = ["SoftmaxClassifier", "RowCompression"]
@@ -241,6 +242,7 @@ class SoftmaxClassifier:
             objective,
             x0,
             max_iterations=self.max_iterations,
+            callback=obs.cg_callback(),
         )
         self.weights = result.x.reshape(shape)
         self.training_result = result

@@ -1,0 +1,83 @@
+"""Append-only JSONL shards, safe under concurrent multi-process writes.
+
+Observability spans/metrics (and the experiment :class:`~repro.
+experiments.journal.RunJournal`) are recorded as one JSON object per
+line.  Multiple processes append to these files concurrently — a worker
+pool journalling attempts, or (after a pid is recycled) two process
+lifetimes sharing one shard — so the framing must guarantee that a
+reader never sees two records interleaved character-by-character.
+
+:func:`append_record` provides that guarantee with O_APPEND single-write
+framing: the whole serialised line (record + trailing newline) goes
+through *one* ``os.write`` on a descriptor opened with ``O_APPEND``.
+POSIX serialises the offset-advance-plus-write of O_APPEND writes to
+regular files atomically, so concurrent appenders interleave only at
+line granularity — no torn or spliced lines (``tests/
+test_obs_concurrency.py`` fork-and-hammers this).  A buffered
+``open(path, "a").write(...)`` has no such guarantee: the text layer may
+split one line across several underlying writes.
+
+Readers (:func:`read_records`) still skip unparseable lines defensively:
+a process killed mid-``write`` can leave one truncated final line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["append_jsonl_line", "append_record", "read_records",
+           "shard_path", "iter_shards"]
+
+
+def append_jsonl_line(path: str | Path, line: str) -> None:
+    """Append ``line`` (no trailing newline) atomically to ``path``.
+
+    One ``os.write`` of the whole encoded line on an ``O_APPEND``
+    descriptor: concurrent appenders from any number of processes can
+    interleave lines but never characters.
+    """
+    data = (line + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def append_record(path: str | Path, record: dict[str, object]) -> None:
+    """Serialise ``record`` and append it as one atomic JSONL line."""
+    parent = Path(path).parent
+    if not parent.is_dir():
+        parent.mkdir(parents=True, exist_ok=True)
+    append_jsonl_line(path, json.dumps(record, sort_keys=True, default=str))
+
+
+def shard_path(directory: str | Path, pid: int) -> Path:
+    """The shard file one process appends its records to."""
+    return Path(directory) / f"shard-{pid}.jsonl"
+
+
+def read_records(path: str | Path) -> Iterator[dict[str, object]]:
+    """Parse one shard, skipping blank and torn lines."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated final line of a killed process
+            if isinstance(record, dict):
+                yield record
+
+
+def iter_shards(directory: str | Path) -> Iterator[Path]:
+    """Every shard file under ``directory``, in a stable order."""
+    root = Path(directory)
+    if not root.is_dir():
+        return
+    yield from sorted(root.glob("shard-*.jsonl"))

@@ -24,6 +24,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.config.configuration import MicroarchConfig
 from repro.config.parameters import PARAMETER_NAMES
 from repro.power.metrics import EfficiencyResult
@@ -202,14 +203,16 @@ class BatchIntervalEvaluator(IntervalEvaluator):
                 time_ns=np.empty(0),
                 energy_pj=np.empty(0),
             )
-        tables = tables or CharTables(char)
-        params = derive_machine_params_arrays(batch.params)
-        cpi, miss = self._cpi_v(char, tables, batch, params)
-        cycles = np.maximum(
-            1, np.rint(char.instructions * cpi).astype(np.int64)
-        )
-        activity = self._activity_v(char, tables, batch, miss)
-        report = account_batch(activity, params, cycles)
+        with obs.span("batch.evaluate", configs=len(batch)):
+            obs.inc("batch.configs", len(batch))
+            tables = tables or CharTables(char)
+            params = derive_machine_params_arrays(batch.params)
+            cpi, miss = self._cpi_v(char, tables, batch, params)
+            cycles = np.maximum(
+                1, np.rint(char.instructions * cpi).astype(np.int64)
+            )
+            activity = self._activity_v(char, tables, batch, miss)
+            report = account_batch(activity, params, cycles)
         return BatchEvalResult(
             configs=batch.configs,
             instructions=char.instructions,

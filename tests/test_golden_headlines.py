@@ -1,0 +1,103 @@
+"""Golden-number guard for the quick-scale headline results.
+
+EXPERIMENTS.md quotes Fig. 4/6 headline ratios from the quick-scale
+pipeline; until now they were hand-checked.  This suite pins them:
+
+* **exact golden values** (2% relative tolerance) — the pipeline is
+  deterministic, so drift beyond float-noise means an algorithmic change
+  that must be acknowledged by updating the goldens *and* EXPERIMENTS.md;
+* **structural orderings** (strict) — the paper's qualitative claims
+  (advanced counters beat basic, the model sits between per-program
+  static and the oracle, everything beats the best-overall-static
+  baseline) must hold regardless of the exact numbers.
+
+Golden values were measured from the deterministic quick-scale build
+(seeded workloads, all-ones CG initialisation); the shared
+``quick_pipeline`` fixture serves them from the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.figures import figure4, figure6
+
+RTOL = 0.02
+
+#: Quick-scale geomean of the advanced-counter model vs best static.
+GOLDEN_FIG4_ADVANCED = 1.5979
+#: Quick-scale geomean of the basic-counter model vs best static.
+GOLDEN_FIG4_BASIC = 1.0508
+#: Quick-scale Fig. 6 averages (model, per-program static, oracle).
+GOLDEN_FIG6 = (1.5979, 1.2158, 1.9425)
+#: (model - 1) / (oracle - 1): the paper reports 74% at full scale.
+GOLDEN_ORACLE_FRACTION = 0.6344
+
+#: Per-benchmark advanced-counter ratios (Fig. 4 bars).
+GOLDEN_FIG4_BARS = {
+    "mcf": 0.981,
+    "crafty": 2.153,
+    "swim": 1.481,
+    "eon": 2.261,
+    "gcc": 1.927,
+    "art": 1.222,
+}
+
+
+@pytest.fixture(scope="module")
+def fig4(quick_pipeline):
+    return figure4(quick_pipeline)
+
+
+@pytest.fixture(scope="module")
+def fig6(quick_pipeline):
+    return figure6(quick_pipeline)
+
+
+def test_fig4_averages_match_goldens(fig4):
+    assert fig4.advanced_average == pytest.approx(GOLDEN_FIG4_ADVANCED,
+                                                 rel=RTOL)
+    assert fig4.basic_average == pytest.approx(GOLDEN_FIG4_BASIC, rel=RTOL)
+
+
+def test_fig4_per_benchmark_bars_match_goldens(fig4):
+    assert sorted(fig4.advanced) == sorted(GOLDEN_FIG4_BARS)
+    for name, golden in GOLDEN_FIG4_BARS.items():
+        assert fig4.advanced[name] == pytest.approx(golden, rel=RTOL), name
+
+
+def test_advanced_counters_beat_basic(fig4):
+    """The paper's central Fig. 4 claim, as an ordering."""
+    assert fig4.advanced_average > fig4.basic_average
+    assert fig4.basic_average > 1.0  # even basic counters beat best static
+
+
+def test_fig6_averages_match_goldens(fig6):
+    for measured, golden in zip(fig6.averages, GOLDEN_FIG6):
+        assert measured == pytest.approx(golden, rel=RTOL)
+
+
+def test_fig6_best_static_ordering(fig6):
+    """1 < per-program static < model < oracle: the limit-study ordering
+    (Fig. 6) that makes the adaptive predictor worth building."""
+    model_avg, per_program_avg, oracle_avg = fig6.averages
+    assert 1.0 < per_program_avg < model_avg < oracle_avg
+
+
+def test_oracle_fraction_matches_golden(fig6):
+    fraction = fig6.fraction_of_available
+    assert fraction == pytest.approx(GOLDEN_ORACLE_FRACTION, rel=RTOL)
+    assert 0.0 < fraction < 1.0
+
+
+def test_oracle_beats_baseline_on_every_benchmark(fig6):
+    """The oracle picks each phase's best *sampled* configuration, and
+    the baseline is itself in the sample — so every benchmark's oracle
+    ratio is >= 1.  (The model may beat the oracle on individual
+    benchmarks: it can predict configurations outside the sampled pool,
+    the effect Fig. 7(b) reports.)"""
+    for name in fig6.oracle:
+        assert fig6.oracle[name] >= 1.0 - 1e-12, name
+        assert math.isfinite(fig6.model[name])

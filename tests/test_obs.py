@@ -1,0 +1,219 @@
+"""Observability layer: spans, metrics, shards and exporters."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.shards import (
+    append_record,
+    iter_shards,
+    read_records,
+    shard_path,
+)
+
+
+@pytest.fixture()
+def obs_dir(tmp_path):
+    """Observability enabled into a temp directory, with a fake clock
+    ticking one second per call; always restored to env-derived state."""
+    ticks = iter(float(i) for i in range(100_000))
+    obs.configure(enabled=True, directory=str(tmp_path),
+                  clock=lambda: next(ticks))
+    yield tmp_path
+    obs.reset_from_env()
+
+
+def test_disabled_by_default(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    obs.reset_from_env()
+    assert not obs.enabled()
+    with obs.span("nothing", attr=1):
+        obs.inc("counter")
+        obs.observe("histogram", 2.0)
+        obs.set_gauge("gauge", 3.0)
+    obs.flush()
+    assert obs.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert obs.cg_callback() is None
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_env_enables(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "1")
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+    obs.reset_from_env()
+    try:
+        assert obs.enabled()
+        with obs.span("from-env"):
+            pass
+        shard = shard_path(tmp_path, os.getpid())
+        names = [r["name"] for r in read_records(shard)]
+        assert names == ["from-env"]
+    finally:
+        obs.reset_from_env()
+
+
+def test_env_zero_means_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "0")
+    obs.reset_from_env()
+    try:
+        assert not obs.enabled()
+    finally:
+        obs.reset_from_env()
+
+
+def test_span_records_timing_and_attrs(obs_dir):
+    with obs.span("outer", program="mcf", phase=3):
+        with obs.span("inner"):
+            pass
+    records = list(read_records(shard_path(obs_dir, os.getpid())))
+    outer = next(r for r in records if r["name"] == "outer")
+    inner = next(r for r in records if r["name"] == "inner")
+    # Fake clock: tick 0 went to the instance token at configure time,
+    # so outer spans ticks 1..4 and inner 2..3.
+    assert outer["start"] == 1.0 and outer["dur"] == 3.0
+    assert inner["start"] == 2.0 and inner["dur"] == 1.0
+    assert outer["attrs"] == {"program": "mcf", "phase": 3}
+    assert inner["parent"] == outer["id"]
+    assert outer["parent"] == 0
+    assert outer["pid"] == os.getpid()
+
+
+def test_span_pops_on_exception(obs_dir):
+    with pytest.raises(RuntimeError):
+        with obs.span("failing"):
+            raise RuntimeError("boom")
+    with obs.span("after"):
+        pass
+    records = list(read_records(shard_path(obs_dir, os.getpid())))
+    after = next(r for r in records if r["name"] == "after")
+    assert after["parent"] == 0  # the failing span was unwound
+
+
+def test_metrics_aggregate_in_process(obs_dir):
+    obs.inc("hits")
+    obs.inc("hits", 2.0)
+    obs.set_gauge("workers", 4.0)
+    obs.set_gauge("workers", 8.0)
+    obs.observe("seconds", 1.0)
+    obs.observe("seconds", 3.0)
+    snap = obs.snapshot()
+    assert snap["counters"] == {"hits": 3.0}
+    assert snap["gauges"] == {"workers": 8.0}
+    assert snap["histograms"]["seconds"] == {
+        "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+
+
+def test_flush_writes_max_seq_snapshot(obs_dir):
+    obs.inc("n")
+    obs.flush()
+    obs.inc("n")
+    obs.flush()
+    records = [r for r in read_records(shard_path(obs_dir, os.getpid()))
+               if r["t"] == "metrics"]
+    assert [r["seq"] for r in records] == [1, 2]
+    # The merger keeps only the last (cumulative) snapshot.
+    snap = obs.metrics_snapshot(records)
+    assert snap["counters"]["n"] == 2.0
+
+
+def test_flush_empty_writes_nothing(obs_dir):
+    obs.flush()
+    assert not shard_path(obs_dir, os.getpid()).exists()
+
+
+def test_cg_callback_counts_iterations(obs_dir):
+    callback = obs.cg_callback()
+    assert callback is not None
+    callback(None, 0.5)
+    callback(None, 0.25)
+    assert obs.snapshot()["counters"]["cg.iterations"] == 2.0
+
+
+def test_merge_sums_across_process_instances(obs_dir):
+    # Two process lifetimes, one of them a recycled pid: metrics merge
+    # by (pid, inst) so the recycled pid is not double- or under-counted.
+    append_record(shard_path(obs_dir, 111), {
+        "t": "metrics", "seq": 2, "pid": 111, "inst": 1,
+        "counters": {"n": 5.0}, "gauges": {}, "histograms": {}})
+    append_record(shard_path(obs_dir, 111), {
+        "t": "metrics", "seq": 1, "pid": 111, "inst": 1,
+        "counters": {"n": 3.0}, "gauges": {}, "histograms": {}})
+    append_record(shard_path(obs_dir, 111), {
+        "t": "metrics", "seq": 1, "pid": 111, "inst": 2,
+        "counters": {"n": 7.0}, "gauges": {}, "histograms": {}})
+    snap = obs.metrics_snapshot(obs.merge_records(obs_dir))
+    assert snap["counters"]["n"] == 12.0  # max-seq of inst 1 (5) + inst 2 (7)
+
+
+def test_histograms_merge_across_processes(obs_dir):
+    for pid, (low, high) in ((201, (1.0, 5.0)), (202, (0.5, 2.0))):
+        append_record(shard_path(obs_dir, pid), {
+            "t": "metrics", "seq": 1, "pid": pid, "inst": 1,
+            "counters": {}, "gauges": {},
+            "histograms": {"s": {"count": 2, "sum": low + high,
+                                 "min": low, "max": high}}})
+    merged = obs.metrics_snapshot(obs.merge_records(obs_dir))
+    assert merged["histograms"]["s"] == {
+        "count": 4, "sum": 8.5, "min": 0.5, "max": 5.0}
+
+
+def test_chrome_trace_event_shape(obs_dir):
+    with obs.span("work", program="gcc"):
+        pass
+    obs.flush()
+    trace = obs.chrome_trace(obs.merge_records(obs_dir))
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    (event,) = trace["traceEvents"]
+    assert event["ph"] == "X"
+    assert event["name"] == "work"
+    assert event["ts"] == 1e6 and event["dur"] == 1e6  # seconds -> µs
+    assert event["pid"] == os.getpid()
+    assert event["args"]["program"] == "gcc"
+    json.dumps(trace)  # must be serialisable as-is
+
+
+def test_render_summary_contents(obs_dir):
+    obs.inc("datastore.hit", 3)
+    obs.inc("datastore.miss", 1)
+    obs.inc("runner.retry", 2)
+    with obs.span("phase.compute"):
+        pass
+    obs.flush()
+    summary = obs.render_summary(obs.merge_records(obs_dir))
+    assert "75.0%" in summary  # hit rate
+    assert "runner retries" in summary and "2" in summary
+    assert "runner timeouts" in summary  # reported even at zero
+    assert "phase.compute" in summary  # top-spans table
+
+
+def test_export_all_writes_three_files(obs_dir):
+    with obs.span("something"):
+        obs.inc("c")
+    paths = obs.export_all(obs_dir)
+    assert sorted(paths) == ["metrics", "summary", "trace"]
+    for path in paths.values():
+        assert path.is_file() and path.stat().st_size > 0
+    metrics = json.loads(paths["metrics"].read_text())
+    assert metrics["counters"]["c"] == 1.0
+    assert metrics["spans"]["something"]["count"] == 1
+
+
+def test_read_records_skips_torn_lines(tmp_path):
+    shard = shard_path(tmp_path, 1)
+    append_record(shard, {"t": "span", "name": "ok"})
+    with shard.open("a") as handle:
+        handle.write('{"t": "span", "name": "torn...')  # no newline, cut off
+    names = [r["name"] for r in read_records(shard)]
+    assert names == ["ok"]
+
+
+def test_iter_shards_sorted(tmp_path):
+    for pid in (30, 4, 100):
+        append_record(shard_path(tmp_path, pid), {"pid": pid})
+    assert [p.name for p in iter_shards(tmp_path)] == [
+        "shard-100.jsonl", "shard-30.jsonl", "shard-4.jsonl"]
+    assert list(iter_shards(tmp_path / "missing")) == []

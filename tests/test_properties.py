@@ -1,6 +1,10 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis", reason="hypothesis is a dev dependency")
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,6 +17,9 @@ from repro.config import (
 )
 from repro.counters import TemporalHistogram
 from repro.model import SoftmaxClassifier, good_configurations
+from repro.model.predictor import ConfigurationPredictor
+from repro.model.quantize import QuantizedPredictor
+from repro.model.softmax import RowCompression
 from repro.timing import (
     block_reuse_distances,
     miss_ratio_curve,
@@ -184,3 +191,106 @@ class TestModelProperties:
         wider = good_configurations(evaluations,
                                     threshold=min(0.9, threshold + 0.1))
         assert set(goods) <= set(wider)
+
+
+# -- quantised inference ------------------------------------------------------------
+
+# predict() assembles a full MicroarchConfig, so the predictor must
+# cover every Table I parameter.
+_QUANT_PARAMETERS = TABLE1_PARAMETERS
+_QUANT_FEATURES = 6
+
+
+def _quantized(weights):
+    return QuantizedPredictor(ConfigurationPredictor.from_weights(
+        weights, parameters=_QUANT_PARAMETERS))
+
+
+class TestQuantizedProperties:
+    """Docstring claim of :class:`QuantizedPredictor`: "a per-matrix
+    positive scale never changes the decision"."""
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           log2_scales=st.lists(st.integers(-6, 6),
+                                min_size=len(_QUANT_PARAMETERS),
+                                max_size=len(_QUANT_PARAMETERS)))
+    @settings(max_examples=50, deadline=None)
+    def test_argmax_invariant_under_positive_scaling(self, seed,
+                                                     log2_scales):
+        """Power-of-two scales make ``centred * s`` and ``peak * s``
+        float-exact, so the quantised int8 matrices — not just the
+        predictions — must be bit-identical."""
+        rng = np.random.default_rng(seed)
+        weights = {
+            parameter.name: rng.normal(
+                scale=float(10.0 ** rng.integers(-2, 3)),
+                size=(_QUANT_FEATURES, parameter.cardinality))
+            for parameter in _QUANT_PARAMETERS
+        }
+        scaled = {
+            parameter.name: weights[parameter.name] * 2.0 ** exponent
+            for parameter, exponent in zip(_QUANT_PARAMETERS, log2_scales)
+        }
+        reference = _quantized(weights)
+        rescaled = _quantized(scaled)
+        for parameter in _QUANT_PARAMETERS:
+            np.testing.assert_array_equal(
+                rescaled._matrices[parameter.name].weights,
+                reference._matrices[parameter.name].weights)
+        for x in rng.normal(size=(5, _QUANT_FEATURES)):
+            assert rescaled.predict(x) == reference.predict(x)
+
+
+# -- row compression ----------------------------------------------------------------
+
+@st.composite
+def duplicate_pattern(draw):
+    """A random grouped duplicate pattern: U distinct rows, each repeated
+    a random number of times, with per-row labels and weights."""
+    n_unique = draw(st.integers(1, 8))
+    n_classes = draw(st.integers(2, 5))
+    repeats = [draw(st.integers(1, 4)) for _ in range(n_unique)]
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    unique_x = rng.normal(size=(n_unique, 4))
+    x = np.repeat(unique_x, repeats, axis=0)
+    group_ids = np.repeat(np.arange(n_unique), repeats)
+    labels = rng.integers(0, n_classes, size=len(x))
+    sample_weight = rng.uniform(0.1, 3.0, size=len(x))
+    model_weights = rng.normal(size=(4, n_classes))
+    return x, group_ids, labels, sample_weight, model_weights, n_classes
+
+
+class TestRowCompressionProperties:
+    """Docstring claim of ``compressed_objective``: same mathematical
+    value and gradient as ``negative_objective`` on the expanded
+    matrix (only the float summation order may differ)."""
+
+    @given(pattern=duplicate_pattern())
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_objective_equivalence(self, pattern):
+        x, group_ids, labels, sample_weight, weights, n_classes = pattern
+        clf = SoftmaxClassifier(n_classes=n_classes, regularization=0.5)
+        compression = RowCompression.from_grouped(x, group_ids)
+        assert compression.n_unique == len(set(group_ids))
+
+        ref_value, ref_grad = clf.negative_objective(
+            weights, x, labels, sample_weight)
+        value, grad = clf.compressed_objective(
+            compression, labels, sample_weight)(weights)
+
+        np.testing.assert_allclose(value, ref_value, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(grad, ref_grad, rtol=1e-9, atol=1e-12)
+
+    @given(pattern=duplicate_pattern())
+    @settings(max_examples=25, deadline=None)
+    def test_unweighted_objective_equivalence(self, pattern):
+        x, group_ids, labels, _, weights, n_classes = pattern
+        clf = SoftmaxClassifier(n_classes=n_classes, regularization=0.5)
+        compression = RowCompression.from_grouped(x, group_ids)
+
+        ref_value, ref_grad = clf.negative_objective(weights, x, labels)
+        value, grad = clf.compressed_objective(compression, labels)(weights)
+
+        np.testing.assert_allclose(value, ref_value, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(grad, ref_grad, rtol=1e-9, atol=1e-12)
