@@ -1,0 +1,234 @@
+"""Benchmark + fidelity gate for the surrogate-accelerated DSE screener.
+
+For each of three phase archetypes (int / fp / mem — the fp one is the
+hardest for a linear surrogate) the script prices one large candidate
+pool two ways and writes the comparison to ``BENCH_dse.json``:
+
+1. **exhaustive** — what the V-C protocol would do without a surrogate:
+   materialise every ``MicroarchConfig``, price the pool exactly in one
+   vectorized batch, collect the per-config result dict, take the
+   argmax;
+2. **screened** — ``SuccessiveHalvingScreener.screen`` over the encoded
+   pool: surrogate triage plus two refits, <5% of the pool priced
+   exactly.
+
+A raw array-level pricing time (no materialisation, no result dict) is
+reported alongside so the exhaustive baseline is transparently
+decomposable — the screener's speedup is against the *protocol*, which
+has to build config objects and a result dict to be useful downstream.
+
+All timings are warmed medians (one untimed warm-up pass per spec, then
+``--repeats`` timed runs): the first batch evaluation after import pays
+one-off allocator and cache-fill costs that would otherwise masquerade
+as engine time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_dse.py           # 262,144 configs
+    PYTHONPATH=src python scripts/bench_dse.py --smoke   # CI-sized (20,000)
+
+Gates (exit non-zero on violation):
+
+- every spec's screening argmax must match the exhaustive argmax
+  (always enforced, smoke included — this is the CI fidelity gate);
+- exact-eval fraction must stay <= 5% (always enforced);
+- outside ``--smoke``, end-to-end speedup must be >= 10x per spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.dse import CandidateSampler, SuccessiveHalvingScreener
+from repro.timing.batch import BatchIntervalEvaluator, CharTables, ConfigBatch
+from repro.timing.characterize import characterize
+from repro.workloads.generator import PhaseSpec, TraceGenerator
+
+REQUIRED_SPEEDUP = 10.0
+MAX_EXACT_FRACTION = 0.05
+
+#: Phase archetypes spanning the behaviours that stress the surrogate:
+#: branchy integer code, FP/ILP-bound code (hardest to rank linearly),
+#: and a memory-bound pointer-chaser.
+SPECS = (
+    PhaseSpec(name="int", load_frac=0.22, store_frac=0.12, branch_frac=0.18,
+              fp_frac=0.02, ilp_mean=5.0, serial_frac=0.3,
+              footprint_blocks=320, reuse_alpha=1.6, streaming_frac=0.05,
+              code_blocks=48, loop_branch_frac=0.45, branch_bias=0.82),
+    PhaseSpec(name="fp", load_frac=0.28, store_frac=0.10, branch_frac=0.07,
+              fp_frac=0.6, ilp_mean=16.0, serial_frac=0.15,
+              footprint_blocks=2048, reuse_alpha=1.1, streaming_frac=0.3,
+              code_blocks=24, loop_branch_frac=0.7, branch_bias=0.95),
+    PhaseSpec(name="mem", load_frac=0.34, store_frac=0.14, branch_frac=0.12,
+              fp_frac=0.08, ilp_mean=7.0, serial_frac=0.2,
+              footprint_blocks=9000, reuse_alpha=1.05, streaming_frac=0.55,
+              code_blocks=32, loop_branch_frac=0.55, branch_bias=0.88),
+)
+
+
+def _characterize(spec: PhaseSpec, trace_length: int):
+    generator = TraceGenerator(spec)
+    return characterize(
+        generator.generate(trace_length, stream_seed=1),
+        warm_trace=generator.generate(trace_length, stream_seed=2),
+    )
+
+
+def _exhaustive(evaluator: BatchIntervalEvaluator, char, tables, pool
+                ) -> tuple[float, int]:
+    """The full protocol cost: materialise + price + dict + argmax."""
+    t0 = time.perf_counter()
+    configs = pool.materialize(np.arange(len(pool)))
+    results = evaluator.evaluate_many(char, configs, tables=tables)
+    by_config = dict(zip(configs, results))
+    best = max(by_config, key=lambda c: by_config[c].efficiency)
+    elapsed = time.perf_counter() - t0
+    return elapsed, configs.index(best)
+
+
+def _raw_batch(evaluator: BatchIntervalEvaluator, char, tables, pool
+               ) -> float:
+    """Array-level pricing only — the baseline's irreducible core."""
+    batch = ConfigBatch.from_arrays(pool.value_arrays())
+    t0 = time.perf_counter()
+    evaluator.evaluate_batch(char, batch, tables=tables)
+    return time.perf_counter() - t0
+
+
+def bench_spec(spec: PhaseSpec, pool, trace_length: int, seed: int,
+               repeats: int) -> dict:
+    char = _characterize(spec, trace_length)
+    evaluator = BatchIntervalEvaluator()
+    tables = CharTables(char)
+    screener = SuccessiveHalvingScreener(evaluator=evaluator)
+
+    # Warm-up: one untimed pass down each path.
+    _raw_batch(evaluator, char, tables, pool)
+    screened = screener.screen(char, pool, seed, tables=tables)
+
+    screen_seconds, exhaustive_seconds, raw_seconds = [], [], []
+    exhaustive_row = -1
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        screened = screener.screen(char, pool, seed, tables=tables)
+        screen_seconds.append(time.perf_counter() - t0)
+        elapsed, exhaustive_row = _exhaustive(evaluator, char, tables, pool)
+        exhaustive_seconds.append(elapsed)
+        raw_seconds.append(_raw_batch(evaluator, char, tables, pool))
+
+    t_screen = statistics.median(screen_seconds)
+    t_exhaustive = statistics.median(exhaustive_seconds)
+    stats = screened.stats
+    return {
+        "spec": spec.name,
+        "pool_size": len(pool),
+        "screen_seconds": t_screen,
+        "exhaustive_seconds": t_exhaustive,
+        "raw_batch_seconds": statistics.median(raw_seconds),
+        "configs_screened_per_sec": len(pool) / t_screen,
+        "speedup_end_to_end": t_exhaustive / t_screen,
+        "exact_evaluations": stats.exact_evaluations,
+        "exact_fraction": stats.exact_fraction,
+        "rung_sizes": list(stats.rung_sizes),
+        "surrogate_r2": list(stats.surrogate_r2),
+        "chosen_row": screened.chosen_row,
+        "exhaustive_row": exhaustive_row,
+        "match": screened.chosen_row == exhaustive_row,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    def positive(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pool-size", type=positive, default=262_144,
+                        help="candidate pool size (default 262,144)")
+    parser.add_argument("--trace-length", type=positive, default=8000)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="screening seed (train/refit draws)")
+    parser.add_argument("--repeats", type=positive, default=3,
+                        help="timing repetitions; median is reported")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 20k pool, no speedup gate (the "
+                             "fidelity and exact-fraction gates still hold)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_dse.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.pool_size = min(args.pool_size, 20_000)
+        args.trace_length = min(args.trace_length, 4000)
+
+    pool = CandidateSampler("bench-dse", args.pool_size).sample(args.pool_size)
+    specs = []
+    for spec in SPECS:
+        result = bench_spec(spec, pool, args.trace_length, args.seed,
+                            args.repeats)
+        specs.append(result)
+        print(
+            f"{result['spec']:>4}: screen {result['screen_seconds']*1e3:6.1f} ms   "
+            f"exhaustive {result['exhaustive_seconds']:5.2f} s   "
+            f"speedup {result['speedup_end_to_end']:5.1f}x   "
+            f"exact {result['exact_fraction']:.2%}   "
+            f"match {result['match']}"
+        )
+
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "pool_size": args.pool_size,
+        "pool_digest": pool.digest()[:12],
+        "seed": args.seed,
+        "specs": specs,
+        "speedup_min": min(s["speedup_end_to_end"] for s in specs),
+        "exact_fraction_max": max(s["exact_fraction"] for s in specs),
+        "all_match": all(s["match"] for s in specs),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if obs.enabled():  # REPRO_OBS=1: export spans + screening counters
+        paths = obs.export_all()
+        print(obs.render_summary(obs.merge_records()))
+        print(f"wrote {paths['trace']} (open in https://ui.perfetto.dev)")
+
+    failures = []
+    for s in specs:
+        if not s["match"]:
+            failures.append(
+                f"{s['spec']}: screening chose row {s['chosen_row']} but "
+                f"exhaustive pricing chose row {s['exhaustive_row']}"
+            )
+        if s["exact_fraction"] > MAX_EXACT_FRACTION:
+            failures.append(
+                f"{s['spec']}: exact-eval fraction {s['exact_fraction']:.2%} "
+                f"> {MAX_EXACT_FRACTION:.0%}"
+            )
+        if not args.smoke and s["speedup_end_to_end"] < REQUIRED_SPEEDUP:
+            failures.append(
+                f"{s['spec']}: speedup {s['speedup_end_to_end']:.1f}x "
+                f"< {REQUIRED_SPEEDUP}x"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

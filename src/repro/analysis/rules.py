@@ -230,6 +230,95 @@ class SetIterationRule(Rule):
                 yield self.diagnostic(module, node, self._MESSAGE)
 
 
+#: Call targets whose value is process/run-dependent: seeding a
+#: generator from any of these launders OS entropy through an
+#: "explicit" seed argument, which RPL-D001 cannot see.
+_ENTROPY_SEEDS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "os.getpid", "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+})
+
+
+class NondeterministicSeedRule(Rule):
+    id = "RPL-D004"
+    name = "nondeterministic-generator-seed"
+    summary = ("generators seeded from entropy (or None), and module-level "
+               "generator state, escape the seed-plumbing discipline")
+
+    def applies_to(self, path: str) -> bool:
+        # repro/util.py defines seeded_rng, the blessed seed-plumbing
+        # helper all generator construction should route through.
+        return (not is_test_path(path)
+                and not path.endswith("repro/util.py"))
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for call in _calls(module):
+            full = module.resolve(call.func)
+            if full is None:
+                continue
+            if full in ("random.SystemRandom", "secrets.SystemRandom"):
+                yield self.diagnostic(
+                    module, call,
+                    "SystemRandom draws OS entropy by construction and can "
+                    "never replay; use repro.util.seeded_rng(...) instead")
+                continue
+            leaf = full.rsplit(".", 1)[-1]
+            if not ((full.startswith("numpy.random.")
+                     and leaf in _NUMPY_SEEDABLE)
+                    or full == "random.Random"):
+                continue
+            seeds = [kw.value for kw in call.keywords if kw.arg == "seed"]
+            if call.args:
+                seeds.append(call.args[0])
+            if not seeds:
+                continue  # bare construction is RPL-D001's finding
+            flagged = False
+            for seed in seeds:
+                if isinstance(seed, ast.Constant) and seed.value is None:
+                    yield self.diagnostic(
+                        module, call,
+                        f"{leaf}(None) explicitly requests an OS-entropy "
+                        "seed; derive the seed from inputs "
+                        "(repro.util.seeded_rng hashes seed parts)")
+                    flagged = True
+                    break
+                source = self._entropy_source(seed, module)
+                if source is not None:
+                    yield self.diagnostic(
+                        module, call,
+                        f"{leaf}() seeded from {source} differs every "
+                        "process/run; derive the seed from inputs "
+                        "(repro.util.seeded_rng hashes seed parts)")
+                    flagged = True
+                    break
+            if flagged:
+                continue
+            if module.enclosing_function(call) is None:
+                yield self.diagnostic(
+                    module, call,
+                    f"module-level {leaf}(...) is shared mutable state — "
+                    "draw order then depends on import and call order "
+                    "across the program and diverges between worker "
+                    "processes; construct the generator inside the "
+                    "consuming function (repro.util.seeded_rng)")
+
+    @staticmethod
+    def _entropy_source(seed: ast.AST, module: ModuleInfo) -> str | None:
+        """The entropy-reading call inside ``seed``, if any."""
+        for node in ast.walk(seed):
+            if not isinstance(node, ast.Call):
+                continue
+            full = module.resolve(node.func)
+            if full in _ENTROPY_SEEDS:
+                return f"{full}()"
+            if isinstance(node.func, ast.Name) and node.func.id == "id":
+                return "id() (an address, not a value)"
+        return None
+
+
 # ---------------------------------------------------------------------------
 # RPL-P: pool-safety
 # ---------------------------------------------------------------------------
@@ -575,6 +664,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
     SetIterationRule(),
+    NondeterministicSeedRule(),
     PoolCallableRule(),
     WorkerGlobalMutationRule(),
     UnversionedKeyRule(),

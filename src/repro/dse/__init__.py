@@ -1,0 +1,47 @@
+"""Surrogate-accelerated design-space exploration (DSE).
+
+The Table I space has ~627 billion points; the section V-C protocol
+prices ~1,300 of them per phase.  This package screens pools two to
+three orders of magnitude larger for the same exact-evaluation budget:
+
+* :mod:`~repro.dse.sampler` — deterministic vectorized candidate
+  sampling into an :class:`EncodedPool` (index matrix, never 100k
+  ``MicroarchConfig`` objects);
+* :mod:`~repro.dse.features` — two feature tiers per candidate: cheap
+  normalized-index features for the first triage rung, and analytical
+  CPI-proxy features (reusing the batch evaluator's effective-window /
+  miss-curve / mispredict machinery) for the survivors;
+* :mod:`~repro.dse.surrogate` — a closed-form :class:`RidgeSurrogate`
+  (default) and an optional :class:`TinyMLPSurrogate` trained with the
+  repository's deterministic conjugate-gradient optimiser;
+* :mod:`~repro.dse.screener` — :class:`SuccessiveHalvingScreener`:
+  surrogate-score the full pool, keep a shrinking top slice each rung,
+  refit on exactly-priced survivors, and spend exact evaluation only on
+  the final slice (<5% of the pool).
+
+``scripts/bench_dse.py`` gates the speedup and the fidelity (the
+screening-chosen configuration must match exhaustive pricing of the
+same pool); ``docs/dse.md`` documents the design.
+"""
+
+from repro.dse.sampler import CandidateSampler, EncodedPool
+from repro.dse.screener import (
+    DseSettings,
+    HalvingSchedule,
+    ScreenResult,
+    ScreenStats,
+    SuccessiveHalvingScreener,
+)
+from repro.dse.surrogate import RidgeSurrogate, TinyMLPSurrogate
+
+__all__ = [
+    "CandidateSampler",
+    "DseSettings",
+    "EncodedPool",
+    "HalvingSchedule",
+    "RidgeSurrogate",
+    "ScreenResult",
+    "ScreenStats",
+    "SuccessiveHalvingScreener",
+    "TinyMLPSurrogate",
+]

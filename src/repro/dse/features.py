@@ -1,0 +1,328 @@
+"""Feature tiers for the DSE surrogate.
+
+Two tiers, matched to the successive-halving budget:
+
+* :func:`analytical_features` — the full-pool tier: normalized index
+  features (squares and hand-picked interaction products) plus twelve
+  analytical CPI-proxy terms mirroring the batch evaluator's machinery
+  (effective window, weighted-ILP curve, miss-curve lookups, mispredict
+  rate) at nominal latencies.  The ridge surrogate then learns how the
+  phase composes the analytical terms, instead of having to rediscover
+  cache curves from index coordinates.
+* :func:`quadratic_augment` — the survivor tier: the analytical matrix
+  plus all pairwise products of the proxy columns.  The quadratic block
+  is what separates near-optimal configurations the linear-in-proxy
+  model cannot rank (fp-heavy phases especially); it is only ever
+  computed for rung survivors, never the full pool.
+
+Everything here is shaped by the full-pool critical path (262k+ rows):
+
+* curve lookups interpolate at each parameter's few *allowed values*
+  and gather, never per candidate;
+* the effective-window/ILP pair is tabulated over the dense cross
+  product of its five low-cardinality input columns (a few thousand
+  entries) and gathered by packed key;
+* matrices are built row-contiguous in a transposed ``(columns, n)``
+  buffer — column writes into a C-ordered ``(n, columns)`` matrix are
+  stride-``columns`` and dominate the naive cost — and returned as its
+  transpose;
+* arithmetic stays in float32 (surrogate scores only rank candidates;
+  exact pricing stays float64 end to end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dse.sampler import EncodedPool
+from repro.timing.batch import CharTables
+from repro.timing.characterize import TraceCharacterization
+from repro.timing.interval import IntervalEvaluator
+from repro.timing.resources import ARCH_REGS, CACHE_BLOCK_BYTES
+
+__all__ = [
+    "INTERACTION_PAIRS",
+    "PROXY_COLUMN_COUNT",
+    "analytical_features",
+    "index_features",
+    "quadratic_augment",
+]
+
+#: Interaction products for the index block: pairs whose joint setting
+#: drives efficiency (frequency-vs-IPC, cache hierarchy, port/width
+#: balance).  Names, not positions, so a reordered Table I cannot
+#: silently scramble the features.
+INTERACTION_PAIRS: tuple[tuple[str, str], ...] = (
+    ("width", "depth_fo4"),
+    ("width", "rob_size"),
+    ("rob_size", "lsq_size"),
+    ("dcache_size", "l2_size"),
+    ("icache_size", "l2_size"),
+    ("gshare_size", "btb_size"),
+    ("width", "rf_rd_ports"),
+    ("depth_fo4", "gshare_size"),
+    ("rob_size", "dcache_size"),
+    ("width", "rf_wr_ports"),
+)
+
+#: Number of analytical proxy columns at the end of the matrix
+#: :func:`analytical_features` returns (:func:`quadratic_augment`
+#: expands exactly these).
+PROXY_COLUMN_COUNT = 12
+
+#: Nominal penalty/latency constants for the CPI-proxy features.  These
+#: approximate the calibrated machine parameters (they are surrogate
+#: inputs, not results — exact pricing always goes through the real
+#: evaluator), chosen once so the proxy ranks configurations the way
+#: the evaluator does.
+_PROXY_MISPREDICT_BASE = 10.0
+_PROXY_MISPREDICT_PER_FO4 = 0.5
+_PROXY_L2_LATENCY = 12.0
+_PROXY_MEMORY_LATENCY = 200.0
+_PROXY_MLP_WINDOW_SHARE = 0.25
+_PROXY_MAX_MLP = 8.0
+
+#: Columns the effective-window proxy reads (the evaluator's
+#: ``_effective_window_v`` dependency set).
+_WINDOW_COLUMNS = ("rf_size", "rob_size", "iq_size", "lsq_size", "branches")
+
+#: Largest dense window/ILP combination table we are willing to build;
+#: beyond this (only plausible for synthetic parameter sets) fall back
+#: to unique-key compression.
+_MAX_DENSE_COMBOS = 1 << 20
+
+
+def _indices_t(pool: EncodedPool,
+               rows: np.ndarray | None) -> np.ndarray:
+    """Selected candidates' index matrix, transposed to (params, n)."""
+    indices = pool.indices if rows is None else pool.indices[rows]
+    return indices.T
+
+
+def _fill_index_block(out: np.ndarray, pool: EncodedPool,
+                      indices_t: np.ndarray) -> None:
+    """Write the index block into ``out`` (rows = feature columns)."""
+    width = len(pool.names)
+    cards = np.array([[p.cardinality] for p in pool.parameters],
+                     dtype=np.float32)
+    inv = 1.0 / np.maximum(cards - 1.0, 1.0)
+    # ``.T.astype`` lands in a row-contiguous (params, n) buffer.
+    norm_t = indices_t.astype(np.float32) * inv
+    out[:width] = norm_t
+    np.multiply(norm_t, norm_t, out=out[width:2 * width])
+    for j, (a, b) in enumerate(INTERACTION_PAIRS):
+        np.multiply(norm_t[pool.names.index(a)],
+                    norm_t[pool.names.index(b)],
+                    out=out[2 * width + j])
+
+
+def index_features(pool: EncodedPool,
+                   rows: np.ndarray | None = None) -> np.ndarray:
+    """The index block: normalized indices, squares, interaction products."""
+    indices_t = _indices_t(pool, rows)
+    out = np.empty((2 * len(pool.names) + len(INTERACTION_PAIRS),
+                    indices_t.shape[1]), dtype=np.float32)
+    _fill_index_block(out, pool, indices_t)
+    return out.T
+
+
+def _value_table(pool: EncodedPool, name: str) -> np.ndarray:
+    """Parameter ``name``'s allowed Table I values as float64."""
+    column = pool.names.index(name)
+    return np.asarray(pool.parameters[column].values, dtype=np.float64)
+
+
+def _column_lookup(
+    pool: EncodedPool,
+    indices_t: np.ndarray,
+    name: str,
+    table: tuple[np.ndarray, np.ndarray],
+    transform=None,
+) -> np.ndarray:
+    """Interpolate a curve at each *allowed value* of one parameter, then
+    gather per candidate — cardinality-many interpolations, not n."""
+    values = _value_table(pool, name)
+    if transform is not None:
+        values = transform(values)
+    per_value = CharTables._lookup(table, values).astype(np.float32)
+    return per_value[indices_t[pool.names.index(name)]]
+
+
+def _window_and_ilp(
+    char: TraceCharacterization,
+    tables: CharTables,
+    pool: EncodedPool,
+    indices_t: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Effective window and ILP per candidate, via a dense combo table.
+
+    The window proxy reads five low-cardinality columns — a few
+    thousand distinct combinations in the Table I space — so both
+    curves are tabulated over the full cross product once and gathered
+    by packed key, keeping the ILP-curve interpolation off the
+    per-candidate path.
+    """
+    columns = [pool.names.index(name) for name in _WINDOW_COLUMNS]
+    cards = [pool.parameters[c].cardinality for c in columns]
+    combos = 1
+    for card in cards:
+        combos *= card
+    if combos <= _MAX_DENSE_COMBOS:
+        grid = np.indices(cards).reshape(len(cards), -1)
+    else:  # enormous synthetic parameter sets: compress via unique keys
+        key = indices_t[columns[0]].astype(np.int64)
+        for card, column in zip(cards[1:], columns[1:]):
+            key = key * card + indices_t[column]
+        _, representative = np.unique(key, return_index=True)
+        grid = indices_t[columns][:, representative]
+
+    def value(name: str) -> np.ndarray:
+        position = _WINDOW_COLUMNS.index(name)
+        return _value_table(pool, name)[grid[position]]
+
+    regs = np.maximum(value("rf_size") - ARCH_REGS, 1.0)
+    window = value("rob_size")
+    window = np.minimum(
+        window, value("iq_size") * IntervalEvaluator.IQ_WINDOW_FACTOR)
+    window = np.minimum(window, value("lsq_size") / max(char.mem_frac, 0.05))
+    window = np.minimum(window, regs / max(char.int_dest_frac, 0.05))
+    window = np.minimum(window, regs / max(char.fp_dest_frac, 0.02))
+    window = np.minimum(
+        window, value("branches") / max(char.branch_frac, 0.02))
+    ilp = tables.ilp(window, 1.0, 1.0)
+
+    key = indices_t[columns[0]].astype(np.int64)
+    for card, column in zip(cards[1:], columns[1:]):
+        key = key * card + indices_t[column]
+    if combos > _MAX_DENSE_COMBOS:
+        key = np.searchsorted(np.sort(np.unique(key)), key)
+    window32 = window.astype(np.float32)
+    ilp32 = ilp.astype(np.float32)
+    return window32[key], ilp32[key]
+
+
+def analytical_features(
+    char: TraceCharacterization,
+    tables: CharTables,
+    pool: EncodedPool,
+    rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """The full-pool tier: index features plus analytical CPI-proxy terms."""
+    indices_t = _indices_t(pool, rows)
+    n = indices_t.shape[1]
+    index_columns = 2 * len(pool.names) + len(INTERACTION_PAIRS)
+    out = np.empty((index_columns + PROXY_COLUMN_COUNT, n), dtype=np.float32)
+    _fill_index_block(out, pool, indices_t)
+    proxies = out[index_columns:]
+
+    window, ilp = _window_and_ilp(char, tables, pool, indices_t)
+
+    def blocks(values: np.ndarray) -> np.ndarray:
+        return values / CACHE_BLOCK_BYTES
+
+    miss_l1d = _column_lookup(pool, indices_t, "dcache_size", tables.dcache,
+                              blocks)
+    miss_l1i = _column_lookup(pool, indices_t, "icache_size", tables.icache,
+                              blocks)
+    miss_l2d = np.minimum(
+        _column_lookup(pool, indices_t, "l2_size", tables.l2_data, blocks),
+        miss_l1d)
+    miss_l2i = np.minimum(
+        _column_lookup(pool, indices_t, "l2_size", tables.l2_inst, blocks),
+        miss_l1i)
+
+    gshare = _column_lookup(pool, indices_t, "gshare_size", tables.gshare)
+    btb = _column_lookup(pool, indices_t, "btb_size", tables.btb)
+    taken_share = np.float32(
+        char.taken_branch_frac / max(char.branch_frac, 1e-6))
+    mispredict = np.minimum(
+        np.float32(0.95), gshare + (1.0 - gshare) * btb * taken_share)
+
+    def column(name: str) -> np.ndarray:
+        table = _value_table(pool, name).astype(np.float32)
+        return table[indices_t[pool.names.index(name)]]
+
+    # Issue-rate caps at nominal latency, mirroring _base_ipc_v's shape
+    # (the real pass also caps on machine-derived ALU/FP/port counts).
+    width = column("width")
+    depth = column("depth_fo4")
+    int_ops = 1.0 - char.fp_frac - char.mem_frac
+    caps = np.minimum(width, np.float32(1.0 / max(char.taken_branch_frac,
+                                                  1e-3)))
+    caps = np.minimum(caps, ilp)
+    caps = np.minimum(
+        caps, column("rf_rd_ports") / np.float32(max(char.int_src_density,
+                                                     0.05)))
+    caps = np.minimum(
+        caps, column("rf_wr_ports") / np.float32(max(char.int_dest_frac,
+                                                     0.05)))
+    caps = np.minimum(caps, width / np.float32(max(int_ops, 0.05)))
+    base_cpi = 1.0 / np.maximum(caps, np.float32(1e-3))
+
+    penalty = np.float32(_PROXY_MISPREDICT_BASE) \
+        + np.float32(_PROXY_MISPREDICT_PER_FO4) * depth
+    branch_cpi = np.float32(char.branch_frac) * mispredict * penalty
+
+    l2_hit = miss_l1d - miss_l2d
+    mem_frac = np.float32(char.mem_frac)
+    data_cpi = mem_frac * (
+        l2_hit * np.float32(_PROXY_L2_LATENCY)
+        / _mlp_density(window, char.mem_frac, miss_l1d)
+        + miss_l2d * np.float32(_PROXY_L2_LATENCY + _PROXY_MEMORY_LATENCY)
+        / _mlp_density(window, char.mem_frac, miss_l2d))
+    inst_cpi = np.float32(char.fetch_block_frac) * (
+        miss_l1i * np.float32(_PROXY_L2_LATENCY)
+        + miss_l2i * np.float32(_PROXY_MEMORY_LATENCY))
+    cpi_proxy = base_cpi + branch_cpi + data_cpi + inst_cpi
+
+    proxy_columns = (
+        np.log(np.maximum(window, np.float32(1.0))),
+        ilp,
+        miss_l1d,
+        miss_l1i,
+        miss_l2d,
+        miss_l2i,
+        mispredict,
+        base_cpi,
+        branch_cpi,
+        data_cpi,
+        inst_cpi,
+        np.log(cpi_proxy),
+    )
+    assert len(proxy_columns) == PROXY_COLUMN_COUNT
+    for j, column_values in enumerate(proxy_columns):
+        proxies[j] = column_values
+    return out.T
+
+
+def _mlp_density(window: np.ndarray, fraction: float,
+                 miss: np.ndarray) -> np.ndarray:
+    """Memory-level-parallelism proxy for a given miss density."""
+    overlap = window * np.float32(_PROXY_MLP_WINDOW_SHARE * fraction) * miss
+    return np.maximum(np.float32(1.0),
+                      np.minimum(overlap, np.float32(_PROXY_MAX_MLP)))
+
+
+def quadratic_augment(matrix: np.ndarray,
+                      proxy_count: int = PROXY_COLUMN_COUNT) -> np.ndarray:
+    """The survivor tier: append pairwise products of the proxy columns.
+
+    Input is an :func:`analytical_features` matrix whose last
+    ``proxy_count`` columns are the proxies; the output appends the
+    upper triangle (squares included) of their products.
+    """
+    if matrix.shape[1] < proxy_count:
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns, fewer than the "
+            f"{proxy_count} proxy columns to expand")
+    base = matrix.shape[1]
+    extra = proxy_count * (proxy_count + 1) // 2
+    out = np.empty((base + extra, len(matrix)), dtype=np.float32)
+    out[:base] = matrix.T
+    proxies = out[base - proxy_count:base]
+    position = base
+    for i in range(proxy_count):
+        for j in range(i, proxy_count):
+            np.multiply(proxies[i], proxies[j], out=out[position])
+            position += 1
+    return out.T

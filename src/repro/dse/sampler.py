@@ -1,0 +1,149 @@
+"""Deterministic vectorized candidate sampling for the DSE screener.
+
+:class:`~repro.config.space.DesignSpace.random_sample` builds one
+``MicroarchConfig`` object per draw — fine for the paper's 1,000-config
+pools, hopeless for the 100k+ pools the surrogate screener wants.
+:class:`CandidateSampler` draws the whole pool as one ``(n, 14)`` index
+matrix (:class:`EncodedPool`), deduplicates it order-stably, and decodes
+Table I values by vectorized lookup.  Sampling is seeded through
+:func:`repro.util.seeded_rng`, so a pool is a pure function of its seed
+parts — bit-identical across processes and worker pools
+(``tests/test_dse_sampler.py`` checks the digest across an actual
+process boundary).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.configuration import MicroarchConfig
+from repro.config.parameters import TABLE1_PARAMETERS, Parameter
+from repro.util import seeded_rng
+
+__all__ = ["CandidateSampler", "EncodedPool"]
+
+#: Give-up bound for duplicate-heavy (i.e. tiny test) spaces, mirroring
+#: ``DesignSpace.random_sample``'s ``50 * count + 100`` attempt budget.
+_MAX_OVERDRAW_ROUNDS = 50
+
+
+class EncodedPool:
+    """A candidate pool as an index matrix plus decoded value arrays.
+
+    ``indices[i, j]`` is candidate ``i``'s index into parameter ``j``'s
+    allowed values (Table I order).  Value arrays are decoded lazily and
+    cached; ``materialize`` builds real ``MicroarchConfig`` objects for
+    selected rows only — the whole point is never paying that cost for
+    the full pool.
+    """
+
+    def __init__(self, indices: np.ndarray,
+                 parameters: Sequence[Parameter] = TABLE1_PARAMETERS) -> None:
+        self.parameters = tuple(parameters)
+        self.names = tuple(p.name for p in self.parameters)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indices.ndim != 2 or indices.shape[1] != len(self.parameters):
+            raise ValueError(
+                f"expected (n, {len(self.parameters)}) index matrix, "
+                f"got shape {indices.shape}")
+        cards = np.array([p.cardinality for p in self.parameters])
+        if len(indices) and (indices.min() < 0 or (indices >= cards).any()):
+            raise ValueError("index matrix contains out-of-space entries")
+        self.indices = indices
+        self._values: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def values(self, name: str) -> np.ndarray:
+        """Decoded int64 Table I values of one parameter, all candidates."""
+        cached = self._values.get(name)
+        if cached is None:
+            column = self.names.index(name)
+            table = np.asarray(self.parameters[column].values, dtype=np.int64)
+            cached = table[self.indices[:, column]]
+            self._values[name] = cached
+        return cached
+
+    def value_arrays(self, rows: np.ndarray | None = None
+                     ) -> dict[str, np.ndarray]:
+        """Per-parameter value arrays (optionally row-sliced), batch-ready."""
+        if rows is None:
+            return {name: self.values(name) for name in self.names}
+        return {name: self.values(name)[rows] for name in self.names}
+
+    def materialize(self, rows: Sequence[int] | np.ndarray
+                    ) -> list[MicroarchConfig]:
+        """``MicroarchConfig`` objects for the selected rows, in order."""
+        return [
+            MicroarchConfig.from_indices(tuple(row))
+            for row in self.indices[np.asarray(rows, dtype=np.int64)].tolist()
+        ]
+
+    def digest(self) -> str:
+        """SHA-256 of the index matrix bytes: the pool's identity.
+
+        Stable across processes for a fixed sampler seed, so it serves
+        both the cross-process reproducibility tests and the
+        ``DataStore`` fingerprints under which screening results are
+        cached.
+        """
+        return hashlib.sha256(self.indices.tobytes()).hexdigest()
+
+
+class CandidateSampler:
+    """Uniform i.i.d. candidate draws, deduplicated, order-stable.
+
+    Args:
+        seed_parts: anything hashable-by-repr describing the draw; the
+            generator comes from ``seeded_rng("dse-sampler", *parts)``.
+        parameters: the parameter set (default Table I).
+    """
+
+    def __init__(self, *seed_parts: object,
+                 parameters: Sequence[Parameter] = TABLE1_PARAMETERS) -> None:
+        self.seed_parts = seed_parts
+        self.parameters = tuple(parameters)
+        self._cards = np.array([p.cardinality for p in self.parameters],
+                               dtype=np.int64)
+
+    def sample(self, count: int) -> EncodedPool:
+        """``count`` unique candidates in first-draw order.
+
+        Duplicates (rare in the 627bn-point space, common in tiny test
+        spaces) are dropped and topped up with further draws; if the
+        space is exhausted the pool is simply smaller than ``count``,
+        mirroring ``DesignSpace.random_sample``.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = seeded_rng("dse-sampler", *self.seed_parts)
+        width = len(self._cards)
+        rows = np.empty((0, width), dtype=np.int64)
+        for _ in range(_MAX_OVERDRAW_ROUNDS):
+            if len(rows) >= count:
+                break
+            draw = rng.integers(0, self._cards,
+                                size=(count - len(rows), width),
+                                dtype=np.int64)
+            rows = self._dedup(np.concatenate([rows, draw]))
+        return EncodedPool(rows[:count], self.parameters)
+
+    def _dedup(self, rows: np.ndarray) -> np.ndarray:
+        """Unique rows, keeping each first occurrence in draw order."""
+        # Cardinalities are small (<= 8), so a row packs into one int64
+        # key (the space size, 627e9, is far below 2**63) — much faster
+        # than np.unique(axis=0)'s lexicographic sort over 14 columns.
+        space_size = 1
+        for card in self._cards.tolist():
+            space_size *= card
+        if space_size < 2**63:
+            strides = np.cumprod(
+                np.concatenate([[1], self._cards[:0:-1]]))[::-1]
+            _, first = np.unique(rows @ strides, return_index=True)
+        else:  # enormous synthetic spaces: no packed key fits an int64
+            _, first = np.unique(rows, axis=0, return_index=True)
+        return rows[np.sort(first)]

@@ -54,6 +54,13 @@ from repro.experiments.baselines import (
     geomean,
     oracle_configs,
 )
+from repro.dse import (
+    CandidateSampler,
+    DseSettings,
+    EncodedPool,
+    ScreenResult,
+    ScreenStats,
+)
 from repro.experiments.datastore import DataStore
 from repro.experiments.errors import QuarantinedPhaseError
 from repro.experiments.journal import RunJournal
@@ -111,10 +118,16 @@ class ExperimentPipeline:
         verbose: bool = False,
         workers: int | None = None,
         train_workers: int | None = None,
+        dse: DseSettings | None = None,
     ) -> None:
         self.scale = scale or ReproScale.default()
         self.store = store or DataStore()
         self.verbose = verbose
+        if dse is None:
+            dse_pool_env = os.environ.get("REPRO_DSE_POOL", "")
+            if dse_pool_env.strip():
+                dse = DseSettings(pool_size=int(dse_pool_env))
+        self.dse = dse
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1"))
         self.workers = max(1, workers)
@@ -172,11 +185,40 @@ class ExperimentPipeline:
         space = DesignSpace(seed=stable_hash(self.scale.tag, "pool"))
         return tuple(space.random_sample(self.scale.pool_size))
 
+    @cached_property
+    def dse_pool(self) -> EncodedPool | None:
+        """The shared encoded screening pool (``None`` unless DSE is on).
+
+        One pool for every phase, like the stage-1 sample: screened
+        evaluations then cover a common candidate set across phases,
+        and workers rebuild it bit-identically from the seed parts.
+        """
+        if self.dse is None:
+            return None
+        sampler = CandidateSampler("pipeline", self.scale.tag,
+                                   self.dse.pool_size)
+        return sampler.sample(self.dse.pool_size)
+
     # -- per-phase data -------------------------------------------------------------
 
     def _phase_cache_key(self, program: str, phase_id: int) -> str:
+        if self.dse is not None:
+            # The DSE path adds screened evaluations to the phase data,
+            # so its cache entries live under the settings fingerprint —
+            # toggling the path (or resizing the pool) never serves
+            # stale evaluation sets.
+            return self.store.versioned_key(
+                self.scale.tag, "phase-dse", self.dse.fingerprint(),
+                program, phase_id)
         return self.store.versioned_key(self.scale.tag, "phase", program,
                                         phase_id)
+
+    def _dse_screen_key(self, program: str, phase_id: int) -> str:
+        """Cache key for one phase's raw screen result (see ``dse_stats``)."""
+        assert self.dse is not None and self.dse_pool is not None
+        return self.store.versioned_key(
+            self.scale.tag, "dse-screen", self.dse.fingerprint(),
+            self.dse_pool.digest()[:12], program, phase_id)
 
     def _prediction_key(self, feature_set: str, mode: str) -> str:
         return self.store.versioned_key(self.scale.tag, "predictions",
@@ -207,12 +249,20 @@ class ExperimentPipeline:
                 with obs.span("phase.characterize"):
                     char = characterize(trace, warm_trace=warm)
                 with obs.span("phase.sweep"):
+                    screen_cache = None
+                    if self.dse_pool is not None:
+                        screen_cache = (
+                            self.store,
+                            self._dse_screen_key(program, phase_id))
                     sweep = run_phase_sweep(
                         char,
                         self.pool,
                         neighbour_count=self.scale.neighbour_count,
                         seed=stable_hash(self.scale.tag, program, phase_id,
                                          "sweep"),
+                        evaluator=self.evaluator,
+                        dse_pool=self.dse_pool,
+                        screen_cache=screen_cache,
                     )
             return PhaseData(
                 program=program,
@@ -224,6 +274,22 @@ class ExperimentPipeline:
             )
 
         return self.store.get_or_compute(key, compute)
+
+    def dse_stats(self, program: str, phase_id: int) -> ScreenStats | None:
+        """Screening statistics for one phase, or ``None`` off the DSE path.
+
+        Served from the cached screen result
+        (:meth:`~repro.dse.SuccessiveHalvingScreener.screen` writes it
+        during :meth:`phase_data`), so this never triggers a screen.
+        """
+        if self.dse is None:
+            return None
+        key = self._dse_screen_key(program, phase_id)
+        if not self.store.contains(key):
+            return None
+        screen = self.store.get(key)
+        assert isinstance(screen, ScreenResult)
+        return screen.stats
 
     @cached_property
     def journal(self) -> RunJournal:
@@ -240,7 +306,7 @@ class ExperimentPipeline:
         workers = self.workers if workers is None else max(1, workers)
         store_dir = str(self.store.directory)
         return PhaseRunner(
-            partial(_phase_worker_task, self.scale, store_dir),
+            partial(_phase_worker_task, self.scale, store_dir, self.dse),
             serial_task=lambda key: self.phase_data(*key),
             workers=workers,
             policy=policy,
@@ -489,7 +555,11 @@ _WORKER_PIPELINE: ExperimentPipeline | None = None
 
 
 def _phase_worker(
-    scale: ReproScale, store_dir: str, program: str, phase_id: int
+    scale: ReproScale,
+    store_dir: str,
+    dse: DseSettings | None,
+    program: str,
+    phase_id: int,
 ) -> PhaseKey:
     """Compute one phase in a worker process, writing through the store.
 
@@ -510,10 +580,11 @@ def _phase_worker(
     if (
         _WORKER_PIPELINE is None
         or _WORKER_PIPELINE.scale != scale
+        or _WORKER_PIPELINE.dse != dse
         or str(_WORKER_PIPELINE.store.directory) != store_dir
     ):
         _WORKER_PIPELINE = ExperimentPipeline(
-            scale, store=DataStore(store_dir), workers=1
+            scale, store=DataStore(store_dir), workers=1, dse=dse
         )
     _WORKER_PIPELINE.phase_data(program, phase_id)
     # Pool workers can be terminated without running atexit hooks, so
@@ -523,13 +594,17 @@ def _phase_worker(
 
 
 def _phase_worker_task(
-    scale: ReproScale, store_dir: str, key: PhaseKey
+    scale: ReproScale,
+    store_dir: str,
+    dse: DseSettings | None,
+    key: PhaseKey,
 ) -> PhaseKey:
     """`PhaseRunner` task adapter: one picklable ``task(key)`` callable."""
-    return _phase_worker(scale, store_dir, *key)
+    return _phase_worker(scale, store_dir, dse, *key)
 
 
-def warm_worker(scale: ReproScale, store_dir: str) -> None:
+def warm_worker(scale: ReproScale, store_dir: str,
+                dse: DseSettings | None = None) -> None:
     """Build this worker process's pipeline state without computing a phase.
 
     Pays the per-process startup cost a pool worker's first phase task
@@ -546,10 +621,11 @@ def warm_worker(scale: ReproScale, store_dir: str) -> None:
     if (
         _WORKER_PIPELINE is None
         or _WORKER_PIPELINE.scale != scale
+        or _WORKER_PIPELINE.dse != dse
         or str(_WORKER_PIPELINE.store.directory) != store_dir
     ):
         _WORKER_PIPELINE = ExperimentPipeline(
-            scale, store=DataStore(store_dir), workers=1
+            scale, store=DataStore(store_dir), workers=1, dse=dse
         )
     _WORKER_PIPELINE.programs
     _WORKER_PIPELINE.pool

@@ -12,19 +12,30 @@ vectorized :class:`~repro.timing.batch.BatchIntervalEvaluator`; passing a
 plain :class:`~repro.timing.interval.IntervalEvaluator` (or any object
 with only a scalar ``evaluate``) falls back to a per-config loop with
 identical results.
+
+The surrogate-accelerated path (opt-in; see :mod:`repro.dse`) slots in
+between stage 1 and stage 2: a 100k+ candidate pool is screened by
+successive halving, the exactly-priced survivors join the evaluation
+set, and the neighbour/one-at-a-time stages then polish around the best
+of everything seen.  Stage 1 still prices the shared pool exactly — the
+static baselines are defined over it for every phase.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.config.configuration import MicroarchConfig
 from repro.config.space import DesignSpace
+from repro.dse import EncodedPool, ScreenStats, SuccessiveHalvingScreener
 from repro.power.metrics import EfficiencyResult
 from repro.timing.batch import BatchIntervalEvaluator, CharTables
 from repro.timing.characterize import TraceCharacterization
 from repro.timing.interval import IntervalEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.datastore import DataStore
 
 __all__ = ["PhaseSweep", "run_phase_sweep"]
 
@@ -34,6 +45,9 @@ class PhaseSweep:
     """All evaluations gathered for one phase."""
 
     evaluations: dict[MicroarchConfig, EfficiencyResult]
+    #: Successive-halving statistics when the DSE path screened a
+    #: candidate pool for this phase (``None`` on the exact-only path).
+    screening: ScreenStats | None = field(default=None, compare=False)
 
     @property
     def efficiencies(self) -> dict[MicroarchConfig, float]:
@@ -52,6 +66,9 @@ def run_phase_sweep(
     neighbour_count: int,
     seed: int,
     evaluator: IntervalEvaluator | None = None,
+    dse_pool: EncodedPool | None = None,
+    screener: SuccessiveHalvingScreener | None = None,
+    screen_cache: tuple["DataStore", str] | None = None,
 ) -> PhaseSweep:
     """Run the full V-C protocol for one characterised phase.
 
@@ -60,10 +77,19 @@ def run_phase_sweep(
         pool: the shared random sample (stage 1; identical for every
             phase so static baselines are well defined).
         neighbour_count: stage 2 size (paper: 200).
-        seed: seed for the neighbour sampling.
+        seed: seed for the neighbour sampling (and, on the DSE path,
+            the screening draws).
         evaluator: configuration evaluator (default
             :class:`BatchIntervalEvaluator`; a scalar-only evaluator is
             driven one config at a time).
+        dse_pool: opt-in encoded candidate pool to screen between
+            stages 1 and 2 (see :class:`~repro.dse.CandidateSampler`).
+        screener: the screener for ``dse_pool`` (default: a
+            :class:`~repro.dse.SuccessiveHalvingScreener` sharing
+            ``evaluator`` when it is batch-capable).
+        screen_cache: optional ``(store, key)`` pair; the screen result
+            is served from / written to the
+            :class:`~repro.experiments.datastore.DataStore` under it.
     """
     if not pool:
         raise ValueError("pool must not be empty")
@@ -89,10 +115,28 @@ def run_phase_sweep(
     # Stage 1: shared uniform random pool.
     evaluate_stage(pool)
 
+    # Optional surrogate stage: screen the big encoded pool, keep every
+    # exactly-priced row.  The screener needs a batch-capable evaluator;
+    # a scalar-only one gets the default batch evaluator (identical
+    # results — it shares the scalar path's calibration).
+    screening: ScreenStats | None = None
+    if dse_pool is not None:
+        if screener is None:
+            batch_evaluator = (
+                evaluator if isinstance(evaluator, BatchIntervalEvaluator)
+                else BatchIntervalEvaluator())
+            screener = SuccessiveHalvingScreener(evaluator=batch_evaluator)
+        store, cache_key = screen_cache if screen_cache else (None, None)
+        screened = screener.screen(char, dse_pool, seed, tables=tables,
+                                   store=store, cache_key=cache_key)
+        screening = screened.stats
+        for config, result in screened.evaluations(dse_pool).items():
+            evaluations.setdefault(config, result)
+
     # Stage 2: random local neighbours of the pool best.
     evaluate_stage(space.random_neighbours(best_so_far(), neighbour_count))
 
     # Stage 3: one-at-a-time sweep around the overall best.
     evaluate_stage(space.one_at_a_time(best_so_far()))
 
-    return PhaseSweep(evaluations=evaluations)
+    return PhaseSweep(evaluations=evaluations, screening=screening)

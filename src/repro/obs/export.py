@@ -139,6 +139,10 @@ def metrics_snapshot(records: list[dict[str, object]]) -> dict[str, object]:
     derived: dict[str, float] = {}
     if hits + misses > 0:
         derived["datastore.hit_rate"] = hits / (hits + misses)
+    screened = counters.get("dse.configs_screened", 0.0)
+    if screened > 0:
+        derived["dse.exact_fraction"] = (
+            counters.get("dse.exact_evals", 0.0) / screened)
     return {
         "processes": len(pids),
         "counters": {name: counters[name] for name in sorted(counters)},
@@ -177,9 +181,23 @@ def render_summary(records: list[dict[str, object]],
         ("pool rebuilds", "runner.pool_rebuild", False),
         ("CG iterations", "cg.iterations", False),
         ("configs priced (batch)", "batch.configs", False),
+        ("DSE screens", "dse.screens", False),
+        ("DSE configs screened", "dse.configs_screened", False),
+        ("DSE exact evals", "dse.exact_evals", False),
+        ("DSE exact evals saved", "dse.exact_saved", False),
     ):
         if always or key in counters:
             lines.append(f"  {label:<23} {counters.get(key, 0.0):.0f}")
+    if "dse.exact_fraction" in derived:
+        gauges = snap["gauges"]
+        assert isinstance(gauges, dict)
+        lines.append(
+            f"  DSE exact fraction      "
+            f"{derived['dse.exact_fraction']:.2%}")
+        if "dse.surrogate_r2" in gauges:
+            lines.append(
+                f"  DSE surrogate R^2       "
+                f"{gauges['dse.surrogate_r2']:.3f}")
     spans = snap["spans"]
     assert isinstance(spans, dict)
     if spans:

@@ -54,11 +54,12 @@ _NOMINAL_LOAD_WEIGHT = 4.0
 class ConfigBatch:
     """A sequence of configurations packed into per-parameter arrays."""
 
-    __slots__ = ("configs", "params")
+    __slots__ = ("configs", "params", "_n")
 
     def __init__(self, configs: Sequence[MicroarchConfig]) -> None:
         self.configs = tuple(configs)
         n = len(self.configs)
+        self._n = n
         self.params: dict[str, np.ndarray] = {
             name: np.fromiter(
                 (getattr(c, name) for c in self.configs), dtype=np.int64, count=n
@@ -66,8 +67,34 @@ class ConfigBatch:
             for name in PARAMETER_NAMES
         }
 
+    @classmethod
+    def from_arrays(cls, params: dict[str, np.ndarray]) -> "ConfigBatch":
+        """A batch built directly from per-parameter value arrays.
+
+        The design-space-exploration screener prices 100k+ candidate
+        configurations per phase; materialising a ``MicroarchConfig``
+        object for each would dominate the runtime, so this constructor
+        accepts the packed arrays directly.  ``configs`` is left empty —
+        callers that need the objects (``evaluate_many``, protocol dicts)
+        must build the batch from configurations instead.
+        """
+        missing = set(PARAMETER_NAMES) - set(params)
+        if missing:
+            raise ValueError(f"missing parameter arrays: {sorted(missing)}")
+        lengths = {len(params[name]) for name in PARAMETER_NAMES}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged parameter arrays: lengths {sorted(lengths)}")
+        batch = cls.__new__(cls)
+        batch.configs = ()
+        batch._n = lengths.pop() if lengths else 0
+        batch.params = {
+            name: np.asarray(params[name], dtype=np.int64)
+            for name in PARAMETER_NAMES
+        }
+        return batch
+
     def __len__(self) -> int:
-        return len(self.configs)
+        return self._n
 
     def __iter__(self) -> Iterator[MicroarchConfig]:
         return iter(self.configs)

@@ -49,7 +49,9 @@ class TestUnseededRandom:
         assert ids("import random\nrng = random.Random()\n") == ["RPL-D001"]
 
     def test_seeded_random_instance_ok(self):
-        assert ids("import random\nrng = random.Random(42)\n") == []
+        assert ids(
+            "import random\ndef f():\n    return random.Random(42)\n"
+        ) == []
 
     def test_numpy_legacy_global_flagged(self):
         assert ids("import numpy as np\nx = np.random.rand(4)\n") == ["RPL-D001"]
@@ -63,14 +65,18 @@ class TestUnseededRandom:
         ) == ["RPL-D001"]
 
     def test_seeded_default_rng_ok(self):
-        assert ids("import numpy as np\nrng = np.random.default_rng(7)\n") == []
+        # Inside a function: module-level construction is RPL-D004's.
+        assert ids(
+            "import numpy as np\n"
+            "def f():\n    return np.random.default_rng(7)\n"
+        ) == []
 
     def test_generator_method_calls_ok(self):
         source = (
             "import numpy as np\n"
-            "rng = np.random.default_rng(1)\n"
-            "x = rng.random()\n"
-            "y = rng.integers(10)\n"
+            "def f():\n"
+            "    rng = np.random.default_rng(1)\n"
+            "    return rng.random() + rng.integers(10)\n"
         )
         assert ids(source) == []
 
@@ -139,6 +145,123 @@ class TestSetIteration:
 
     def test_membership_and_len_ok(self):
         assert ids("n = len(set(items))\nhit = 3 in set(items)\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RPL-D004: nondeterministic generator seeds
+# ---------------------------------------------------------------------------
+
+
+class TestNondeterministicSeed:
+    def test_none_seed_flagged(self):
+        assert ids(
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(None)\n"
+        ) == ["RPL-D004"]
+
+    def test_none_seed_keyword_flagged(self):
+        assert ids(
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(seed=None)\n"
+        ) == ["RPL-D004"]
+
+    def test_getpid_seed_flagged(self):
+        assert ids(
+            "import os\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(os.getpid())\n"
+        ) == ["RPL-D004"]
+
+    def test_entropy_inside_expression_flagged(self):
+        # The entropy read hides inside arithmetic: still a launder.
+        assert ids(
+            "import os\n"
+            "import numpy as np\n"
+            "def f(base):\n"
+            "    return np.random.default_rng(base + os.getpid() * 7)\n"
+        ) == ["RPL-D004"]
+
+    def test_wall_clock_seed_flagged_in_script(self):
+        # Scripts escape RPL-D002 (they may time themselves), so the
+        # seed-laundering check must catch time.time there on its own.
+        assert ids(
+            "import time\n"
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(int(time.time()))\n",
+            path="scripts/example.py",
+        ) == ["RPL-D004"]
+
+    def test_id_seed_flagged(self):
+        assert ids(
+            "import numpy as np\n"
+            "def f(obj):\n"
+            "    return np.random.default_rng(id(obj))\n"
+        ) == ["RPL-D004"]
+
+    def test_stdlib_random_none_seed_flagged(self):
+        assert ids(
+            "import random\n"
+            "def f():\n"
+            "    return random.Random(None)\n"
+        ) == ["RPL-D004"]
+
+    def test_system_random_flagged(self):
+        assert ids(
+            "import random\n"
+            "def f():\n"
+            "    return random.SystemRandom()\n"
+        ) == ["RPL-D004"]
+
+    def test_module_level_generator_flagged(self):
+        # Seeded, so RPL-D001 is silent — but module-level generator
+        # state still diverges across import orders and worker pools.
+        assert ids(
+            "import numpy as np\n"
+            "RNG = np.random.default_rng(42)\n"
+        ) == ["RPL-D004"]
+
+    def test_seeded_rng_in_function_ok(self):
+        assert ids(
+            "from repro.util import seeded_rng\n"
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        ) == []
+
+    def test_bare_construction_is_d001_not_d004(self):
+        assert ids(
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng()\n"
+        ) == ["RPL-D001"]
+
+    def test_blessed_helper_module_exempt(self):
+        # repro/util.py hosts seeded_rng itself; the module-level /
+        # seed-shape checks must not recurse into it.
+        assert ids(
+            "import numpy as np\n"
+            "def seeded_rng(*parts):\n"
+            "    return np.random.default_rng(stable_hash(*parts))\n",
+            path="src/repro/util.py",
+        ) == []
+
+    def test_tests_exempt(self):
+        assert ids(
+            "import numpy as np\n"
+            "RNG = np.random.default_rng(None)\n",
+            path="tests/test_example.py",
+        ) == []
+
+    def test_suppression_comment(self):
+        assert ids(
+            "import numpy as np\n"
+            "RNG = np.random.default_rng(7)"
+            "  # reprolint: disable=RPL-D004\n"
+        ) == []
 
 
 # ---------------------------------------------------------------------------

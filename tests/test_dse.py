@@ -1,0 +1,285 @@
+"""Unit tests for the surrogate-accelerated DSE package.
+
+The end-to-end fidelity claim (screening argmax == exhaustive argmax on
+100k+ pools) is exercised at scale by ``scripts/bench_dse.py`` and the
+CI ``dse-fidelity`` job; these tests pin the pieces — surrogates,
+feature tiers, halving schedule, and the screen itself at a pool size
+small enough to price exhaustively in-process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    CandidateSampler,
+    DseSettings,
+    HalvingSchedule,
+    RidgeSurrogate,
+    SuccessiveHalvingScreener,
+    TinyMLPSurrogate,
+)
+from repro.dse.features import (
+    INTERACTION_PAIRS,
+    PROXY_COLUMN_COUNT,
+    analytical_features,
+    index_features,
+    quadratic_augment,
+)
+from repro.dse.surrogate import emphasis_weights
+from repro.experiments.datastore import DataStore
+from repro.timing.batch import BatchIntervalEvaluator, CharTables, ConfigBatch
+from repro.timing.characterize import characterize
+from repro.util import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def char(int_spec):
+    from repro.workloads.generator import TraceGenerator
+    generator = TraceGenerator(int_spec)
+    return characterize(generator.generate(1500, stream_seed=1),
+                        warm_trace=generator.generate(1500, stream_seed=2))
+
+
+@pytest.fixture(scope="module")
+def small_pool():
+    return CandidateSampler("test-dse", 2000).sample(2000)
+
+
+# ---------------------------------------------------------------------------
+# Surrogates
+# ---------------------------------------------------------------------------
+
+
+class TestRidgeSurrogate:
+    def test_recovers_linear_function(self):
+        rng = seeded_rng("test-ridge", 0)
+        x = rng.normal(size=(400, 6))
+        w = np.array([2.0, -1.0, 0.5, 0.0, 3.0, -0.25])
+        y = x @ w + 1.5
+        model = RidgeSurrogate(l2=1e-6).fit(x, y)
+        assert model.train_r2 > 0.999
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-3)
+
+    def test_rank_correlation_on_noisy_data(self):
+        rng = seeded_rng("test-ridge", 1)
+        x = rng.normal(size=(500, 4))
+        y = x @ np.array([1.0, 2.0, -1.0, 0.5]) + rng.normal(
+            scale=0.1, size=500)
+        scores = RidgeSurrogate().fit(x, y).predict(x)
+        # Top-decile overlap is what screening actually relies on.
+        top = set(np.argsort(-y)[:50].tolist())
+        predicted = set(np.argsort(-scores)[:50].tolist())
+        assert len(top & predicted) >= 40
+
+    def test_float32_features_stay_float32(self):
+        rng = seeded_rng("test-ridge", 2)
+        x = rng.normal(size=(100, 3)).astype(np.float32)
+        model = RidgeSurrogate().fit(x, x.sum(axis=1))
+        assert model.predict(x).dtype == np.float32
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeSurrogate().predict(np.zeros((2, 2)))
+
+    def test_sample_weight_shifts_fit(self):
+        # Two clusters with different slopes: weighting one cluster hard
+        # must pull the fit toward it.
+        x = np.concatenate([np.linspace(0, 1, 50),
+                            np.linspace(10, 11, 50)])[:, None]
+        y = np.concatenate([np.linspace(0, 1, 50),
+                            np.linspace(-10, -11, 50)])
+        weights = np.concatenate([np.full(50, 100.0), np.full(50, 1e-6)])
+        model = RidgeSurrogate(l2=1e-9).fit(x, y, sample_weight=weights)
+        predicted = model.predict(x[:50])
+        assert float(np.abs(predicted - y[:50]).max()) < 0.1
+
+
+class TestEmphasisWeights:
+    def test_top_quartile_boosted(self):
+        weights = emphasis_weights(np.arange(100.0))
+        assert (weights[-25:] == 4.0).all()
+        assert (weights[:75] == 1.0).all()
+
+    def test_custom_quantile_and_boost(self):
+        weights = emphasis_weights(np.arange(10.0), quantile=0.5, boost=2.0)
+        assert set(weights.tolist()) == {1.0, 2.0}
+        assert weights.sum() == 5 * 1.0 + 5 * 2.0
+
+
+class TestTinyMLP:
+    def test_fits_nonlinear_function(self):
+        rng = seeded_rng("test-mlp", 0)
+        x = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(x[:, 0]) * x[:, 1]
+        model = TinyMLPSurrogate(hidden=12).fit(x, y)
+        assert model.train_r2 > 0.9
+
+    def test_deterministic_refit(self):
+        rng = seeded_rng("test-mlp", 1)
+        x = rng.normal(size=(100, 3))
+        y = x[:, 0] ** 2
+        a = TinyMLPSurrogate().fit(x, y).predict(x)
+        b = TinyMLPSurrogate().fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Feature tiers
+# ---------------------------------------------------------------------------
+
+
+class TestFeatures:
+    def test_index_tier_shape(self, small_pool):
+        matrix = index_features(small_pool)
+        # 14 normalised indices + 14 squares + 10 named interactions.
+        assert matrix.shape == (len(small_pool),
+                                28 + len(INTERACTION_PAIRS))
+        assert matrix.dtype == np.float32
+
+    def test_analytical_tier_shape(self, char, small_pool):
+        matrix = analytical_features(char, CharTables(char), small_pool)
+        assert matrix.shape == (len(small_pool),
+                                28 + len(INTERACTION_PAIRS)
+                                + PROXY_COLUMN_COUNT)
+        assert matrix.dtype == np.float32
+        assert np.isfinite(matrix).all()
+
+    def test_analytical_prefix_is_index_tier(self, char, small_pool):
+        analytical = analytical_features(char, CharTables(char), small_pool)
+        index = index_features(small_pool)
+        np.testing.assert_array_equal(analytical[:, :index.shape[1]], index)
+
+    def test_quadratic_augment_appends_proxy_products(self, char,
+                                                      small_pool):
+        matrix = analytical_features(char, CharTables(char), small_pool)
+        augmented = quadratic_augment(matrix)
+        pairs = PROXY_COLUMN_COUNT * (PROXY_COLUMN_COUNT + 1) // 2
+        assert augmented.shape == (len(small_pool),
+                                   matrix.shape[1] + pairs)
+        np.testing.assert_array_equal(augmented[:, :matrix.shape[1]],
+                                      matrix)
+        proxies = matrix[:, -PROXY_COLUMN_COUNT:]
+        np.testing.assert_allclose(
+            augmented[:, matrix.shape[1]],
+            proxies[:, 0] * proxies[:, 0], rtol=1e-6)
+        np.testing.assert_allclose(
+            augmented[:, -1],
+            proxies[:, -1] * proxies[:, -1], rtol=1e-6)
+
+    def test_interaction_pairs_are_real_parameters(self, small_pool):
+        for a, b in INTERACTION_PAIRS:
+            assert a in small_pool.names
+            assert b in small_pool.names
+
+
+# ---------------------------------------------------------------------------
+# Halving schedule
+# ---------------------------------------------------------------------------
+
+
+class TestHalvingSchedule:
+    @pytest.mark.parametrize("n", [1, 100, 5_000, 20_000, 100_000,
+                                   262_144, 1_000_000])
+    def test_rungs_shrink(self, n):
+        schedule = HalvingSchedule.for_pool(n)
+        assert (schedule.final_size <= schedule.rung1_keep
+                <= schedule.rung0_keep <= n)
+        assert schedule.train_size <= n
+        assert schedule.refit_size <= n
+
+    @pytest.mark.parametrize("n", [20_000, 50_000, 100_000, 262_144])
+    def test_exact_budget_within_five_percent(self, n):
+        schedule = HalvingSchedule.for_pool(n)
+        assert schedule.exact_budget() / n <= 0.05
+
+    def test_budget_grows_sublinearly(self):
+        small = HalvingSchedule.for_pool(20_000).exact_budget()
+        large = HalvingSchedule.for_pool(262_144).exact_budget()
+        assert large < small * (262_144 / 20_000)
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(ValueError):
+            HalvingSchedule.for_pool(0)
+
+    def test_non_shrinking_rungs_rejected(self):
+        with pytest.raises(ValueError):
+            HalvingSchedule(train_size=10, refit_size=5,
+                            rung0_keep=100, rung1_keep=200, final_size=50)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            HalvingSchedule(train_size=-1, refit_size=5,
+                            rung0_keep=100, rung1_keep=50, final_size=10)
+
+
+# ---------------------------------------------------------------------------
+# The screen
+# ---------------------------------------------------------------------------
+
+
+class TestScreen:
+    @pytest.fixture(scope="class")
+    def screened(self, char, small_pool):
+        return SuccessiveHalvingScreener().screen(char, small_pool, seed=0)
+
+    def test_matches_exhaustive_argmax(self, char, small_pool, screened):
+        batch = ConfigBatch.from_arrays(small_pool.value_arrays())
+        exact = BatchIntervalEvaluator().evaluate_batch(char, batch)
+        assert screened.chosen_row == exact.best_index
+
+    def test_deterministic(self, char, small_pool, screened):
+        again = SuccessiveHalvingScreener().screen(char, small_pool, seed=0)
+        assert again.chosen_row == screened.chosen_row
+        assert sorted(again.results) == sorted(screened.results)
+
+    def test_seed_changes_draws_not_contract(self, char, small_pool,
+                                             screened):
+        other = SuccessiveHalvingScreener().screen(char, small_pool, seed=1)
+        assert sorted(other.results) != sorted(screened.results)
+
+    def test_stats_shape(self, small_pool, screened):
+        stats = screened.stats
+        assert stats.pool_size == len(small_pool)
+        assert stats.rung_sizes[0] == len(small_pool)
+        assert stats.exact_evaluations == len(screened.results)
+        assert stats.exact_fraction == pytest.approx(
+            stats.exact_evaluations / stats.pool_size)
+        assert len(stats.surrogate_r2) == 3
+        assert stats.screen_seconds > 0.0
+
+    def test_exact_budget_respected(self, small_pool, screened):
+        budget = HalvingSchedule.for_pool(len(small_pool)).exact_budget()
+        assert screened.stats.exact_evaluations <= budget
+
+    def test_chosen_config_consistent(self, small_pool, screened):
+        assert (screened.chosen_config()
+                == small_pool.materialize([screened.chosen_row])[0])
+
+    def test_evaluations_map_to_configs(self, char, small_pool, screened):
+        evaluations = screened.evaluations(small_pool)
+        assert len(evaluations) == len(screened.results)
+        best = max(evaluations, key=lambda c: evaluations[c].efficiency)
+        assert best == screened.chosen_config()
+
+    def test_empty_pool_rejected(self, char):
+        empty = CandidateSampler("empty").sample(0)
+        with pytest.raises(ValueError):
+            SuccessiveHalvingScreener().screen(char, empty, seed=0)
+
+    def test_store_roundtrip(self, char, small_pool, screened, tmp_path):
+        store = DataStore(tmp_path)
+        key = store.versioned_key("test", "dse-screen",
+                                  small_pool.digest()[:12])
+        screener = SuccessiveHalvingScreener()
+        first = screener.screen(char, small_pool, seed=0, store=store,
+                                cache_key=key)
+        cached = screener.screen(char, small_pool, seed=0, store=store,
+                                 cache_key=key)
+        assert cached.chosen_row == first.chosen_row == screened.chosen_row
+        assert cached.stats == first.stats  # served verbatim from disk
+
+    def test_settings_fingerprint_distinguishes_pools(self):
+        assert (DseSettings(pool_size=100).fingerprint()
+                != DseSettings(pool_size=200).fingerprint())

@@ -187,20 +187,20 @@ class TestWorkerReuse:
         from repro.experiments import DataStore, ExperimentPipeline
         store_a, store_b = str(tmp_path / "a"), str(tmp_path / "b")
         try:
-            P._phase_worker(tiny_scale, store_a, "mcf", 0)
+            P._phase_worker(tiny_scale, store_a, None, "mcf", 0)
             first = P._WORKER_PIPELINE
             assert str(first.store.directory) == store_a
             # Same scale + store: the pipeline (suite, pool) is reused.
-            P._phase_worker(tiny_scale, store_a, "mcf", 1)
+            P._phase_worker(tiny_scale, store_a, None, "mcf", 1)
             assert P._WORKER_PIPELINE is first
             # A different scale must not be served from the stale pipeline.
             other_scale = tiny_scale.with_(seed=1)
-            P._phase_worker(other_scale, store_a, "mcf", 0)
+            P._phase_worker(other_scale, store_a, None, "mcf", 0)
             assert P._WORKER_PIPELINE is not first
             assert P._WORKER_PIPELINE.scale == other_scale
             second = P._WORKER_PIPELINE
             # A different store directory must not leak writes to the old one.
-            P._phase_worker(other_scale, store_b, "swim", 0)
+            P._phase_worker(other_scale, store_b, None, "swim", 0)
             assert P._WORKER_PIPELINE is not second
             assert str(P._WORKER_PIPELINE.store.directory) == store_b
         finally:
@@ -339,3 +339,92 @@ class TestFaultTolerance:
         pipe.journal.clear_quarantine(bad)
         assert pipe.prefetch_phases() == [("mcf", 0)]
         assert pipe.prefetch_phases() == []
+
+
+class TestDsePath:
+    """The opt-in surrogate-screening path through the pipeline."""
+
+    @pytest.fixture
+    def tiny_scale(self):
+        return ReproScale.quick().with_(
+            benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
+            pool_size=8, neighbour_count=4)
+
+    @pytest.fixture
+    def settings(self):
+        from repro.dse import DseSettings
+        return DseSettings(pool_size=2000)
+
+    def test_screening_enriches_every_phase(self, tiny_scale, settings,
+                                            tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        base = ExperimentPipeline(tiny_scale,
+                                  store=DataStore(tmp_path / "base"))
+        dse = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path / "d"),
+                                 dse=settings)
+        for key in dse.phase_keys:
+            base_sweep = base.phase_data(*key)
+            sweep = dse.phase_data(*key)
+            stats = dse.dse_stats(*key)
+            assert stats is not None
+            assert stats.pool_size == settings.pool_size
+            assert stats.exact_evaluations < settings.pool_size
+            # The screened survivors join the evaluation set (the
+            # polish stages then explore *around* the screened best, so
+            # the two paths' final bests are not comparable in general).
+            assert len(sweep.evaluations) > len(base_sweep.evaluations)
+            screen = dse.store.get(dse._dse_screen_key(*key))
+            chosen = screen.chosen_config()
+            assert chosen in sweep.evaluations
+            assert (sweep.best[1].efficiency
+                    >= sweep.evaluations[chosen].efficiency)
+        assert base.dse_stats(*base.phase_keys[0]) is None
+
+    def test_cache_namespaces_are_separate(self, tiny_scale, settings,
+                                           tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        store = DataStore(tmp_path)
+        dse = ExperimentPipeline(tiny_scale, store=store, dse=settings)
+        dse.phase_data("mcf", 0)
+        # The DSE build wrote its own namespace, not the exact one.
+        base = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path))
+        assert dse._phase_cache_key("mcf", 0) != base._phase_cache_key(
+            "mcf", 0)
+        assert store.contains(dse._phase_cache_key("mcf", 0))
+        assert not store.contains(base._phase_cache_key("mcf", 0))
+
+    def test_env_var_opt_in(self, tiny_scale, tmp_path, monkeypatch):
+        from repro.dse import DseSettings
+        from repro.experiments import DataStore, ExperimentPipeline
+        monkeypatch.setenv("REPRO_DSE_POOL", "2000")
+        pipe = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path))
+        assert pipe.dse == DseSettings(pool_size=2000)
+        # An explicit constructor argument beats the environment.
+        override = ExperimentPipeline(tiny_scale, store=DataStore(tmp_path),
+                                      dse=DseSettings(pool_size=500))
+        assert override.dse == DseSettings(pool_size=500)
+        monkeypatch.delenv("REPRO_DSE_POOL")
+        assert ExperimentPipeline(tiny_scale,
+                                  store=DataStore(tmp_path)).dse is None
+
+    def test_worker_fanout_matches_serial(self, tiny_scale, settings,
+                                          tmp_path):
+        from repro.experiments import DataStore, ExperimentPipeline
+        serial = ExperimentPipeline(tiny_scale,
+                                    store=DataStore(tmp_path / "s"),
+                                    dse=settings)
+        serial.prefetch_phases()
+        fanned = ExperimentPipeline(tiny_scale,
+                                    store=DataStore(tmp_path / "w"),
+                                    dse=settings, workers=2)
+        assert sorted(fanned.prefetch_phases()) == sorted(fanned.phase_keys)
+        for key in serial.phase_keys:
+            ours, theirs = serial.phase_data(*key), fanned.phase_data(*key)
+            assert ours.best[0] == theirs.best[0]
+            mine, other = serial.dse_stats(*key), fanned.dse_stats(*key)
+            # Wall-clock fields legitimately differ; everything the
+            # screen *decided* must be bit-identical across processes.
+            assert mine.rung_sizes == other.rung_sizes
+            assert mine.exact_evaluations == other.exact_evaluations
+            assert mine.surrogate_r2 == other.surrogate_r2
+            assert len(ours.evaluations) == len(theirs.evaluations)

@@ -190,6 +190,30 @@ def test_render_summary_contents(obs_dir):
     assert "phase.compute" in summary  # top-spans table
 
 
+def test_render_summary_dse_section(obs_dir):
+    obs.inc("dse.screens")
+    obs.inc("dse.configs_screened", 20_000)
+    obs.inc("dse.exact_evals", 864)
+    obs.inc("dse.exact_saved", 19_136)
+    obs.set_gauge("dse.surrogate_r2", 0.979)
+    obs.flush()
+    records = obs.merge_records(obs_dir)
+    snap = obs.metrics_snapshot(records)
+    assert snap["derived"]["dse.exact_fraction"] == pytest.approx(
+        864 / 20_000)
+    summary = obs.render_summary(records)
+    assert "DSE configs screened" in summary and "20000" in summary
+    assert "DSE exact fraction" in summary and "4.32%" in summary
+    assert "DSE surrogate R^2" in summary and "0.979" in summary
+
+
+def test_render_summary_omits_dse_without_screens(obs_dir):
+    obs.inc("datastore.hit", 1)
+    obs.flush()
+    summary = obs.render_summary(obs.merge_records(obs_dir))
+    assert "DSE" not in summary
+
+
 def test_export_all_writes_three_files(obs_dir):
     with obs.span("something"):
         obs.inc("c")
