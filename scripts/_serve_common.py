@@ -1,0 +1,85 @@
+"""Shared fixture builder for the serving drill and benchmark scripts.
+
+Both ``serve_drill.py`` and ``bench_serve.py`` need the same things: a
+predictor trained on the workload suite, its weight store on disk, the
+per-program static-best table for the ladder's fallback rung, and the
+suite's phase feature vectors to replay as requests (each paired with
+the *offline* quantized prediction, the drill's bit-identity
+reference).  Building it once here keeps the two scripts honest about
+comparing against the same artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import MicroarchConfig
+from repro.experiments import DataStore, ExperimentPipeline, ReproScale
+from repro.model import QuantizedPredictor, save_weight_store
+from repro.serving import PredictionServer, build_service
+
+#: CI-sized suite: two benchmarks, two phases each, short traces.  The
+#: serving layer's cost is per-request, not per-trace, so replaying a
+#: small suite many times is representative.
+DRILL_SCALE_OVERRIDES = dict(
+    benchmarks=("mcf", "swim"), n_phases=2, phase_trace_length=1000,
+    pool_size=8, neighbour_count=4)
+
+FEATURE_SET = "advanced"
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """One suite phase as a serving request plus its offline answer."""
+
+    program: str
+    phase_id: int
+    features: tuple[float, ...]
+    offline: MicroarchConfig  # offline quantized predict_batch answer
+
+
+@dataclass(frozen=True)
+class ServingFixture:
+    store_path: Path
+    static_table: dict[str, MicroarchConfig]
+    baseline: MicroarchConfig
+    replay: tuple[ReplayRequest, ...]
+
+    def server(self, **kwargs) -> PredictionServer:
+        kwargs.setdefault("static_table", self.static_table)
+        kwargs.setdefault("baseline", self.baseline)
+        return build_service(self.store_path, **kwargs)
+
+
+def build_fixture(root: Path, scale: ReproScale | None = None
+                  ) -> ServingFixture:
+    """Train on the quick suite and lay out the serving artefacts."""
+    scale = scale or ReproScale.quick().with_(**DRILL_SCALE_OVERRIDES)
+    pipeline = ExperimentPipeline(scale, store=DataStore(root / "cache"),
+                                  workers=2)
+    pipeline.prefetch_phases()
+    predictor = pipeline.full_predictor(FEATURE_SET)
+    store_path = Path(save_weight_store(predictor, root / "weights"))
+
+    data = sorted(pipeline.all_phase_data.values(),
+                  key=lambda d: (d.program, d.phase_id))
+    matrix = np.stack([d.features[FEATURE_SET] for d in data])
+    offline = QuantizedPredictor(predictor).predict_batch(matrix)
+    replay = tuple(
+        ReplayRequest(
+            program=d.program,
+            phase_id=d.phase_id,
+            features=tuple(float(v) for v in d.features[FEATURE_SET]),
+            offline=config,
+        )
+        for d, config in zip(data, offline)
+    )
+    return ServingFixture(
+        store_path=store_path,
+        static_table=dict(pipeline.per_program_static),
+        baseline=pipeline.baseline_config,
+        replay=replay,
+    )

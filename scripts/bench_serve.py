@@ -1,0 +1,243 @@
+"""Benchmark + health gate for the online prediction service.
+
+Boots the full serving stack (weight store trained on the quick
+workload suite, quantized top tier) on a loopback socket and replays
+the suite's phase feature vectors from concurrent client connections,
+measuring what a caller would see:
+
+* client-side latency (p50 / p99, milliseconds, request write to
+  response read);
+* sustained predictions/sec over the replay window;
+* shed rate, deadline misses, and the tier mix of the answers.
+
+Each connection pipelines a window of requests before reading
+responses, so the server's micro-batcher actually forms batches —
+benchmarking one-request-at-a-time would only ever measure batch size
+one.  Results go to ``BENCH_serve.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py           # 4 conns x 200
+    PYTHONPATH=src python scripts/bench_serve.py --smoke   # CI-sized
+
+Gates (exit non-zero on violation):
+
+- every request is answered (``ok`` or an explicit ``shed``) — no
+  silent losses;
+- zero deadline misses: a response sent after its deadline is a
+  correctness bug, not a latency blip (always enforced, smoke too);
+- a clean run stays on the quantized top tier for >= 95% of answers;
+- p99 latency below the request deadline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _serve_common import ServingFixture, build_fixture  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.serving import PredictResponse  # noqa: E402
+
+MIN_TOP_TIER_SHARE = 0.95
+DEADLINE_MS = 1000.0
+
+
+async def replay_connection(port: int, fixture: ServingFixture, lane: int,
+                            requests: int, window: int,
+                            latencies_ms: list[float],
+                            responses: list[PredictResponse]) -> int:
+    """Replay ``requests`` suite phases over one connection, pipelining
+    up to ``window`` in-flight requests.  Returns the unanswered count."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    sent_at: dict[str, float] = {}
+    pending = 0
+    unanswered = requests
+
+    async def read_one() -> bool:
+        nonlocal pending, unanswered
+        line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+        if not line:
+            return False
+        response = PredictResponse.decode(line)
+        latencies_ms.append(
+            (time.perf_counter() - sent_at.pop(str(response.id))) * 1e3)
+        responses.append(response)
+        pending -= 1
+        unanswered -= 1
+        return True
+
+    try:
+        for n in range(requests):
+            item = fixture.replay[n % len(fixture.replay)]
+            request_id = f"{lane}/{n}"
+            sent_at[request_id] = time.perf_counter()
+            writer.write(json.dumps({
+                "id": request_id, "features": list(item.features),
+                "deadline_ms": DEADLINE_MS, "program": item.program,
+            }).encode() + b"\n")
+            await writer.drain()
+            pending += 1
+            if pending >= window:
+                if not await read_one():
+                    return unanswered
+        while pending > 0:
+            if not await read_one():
+                return unanswered
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return unanswered
+
+
+async def run_bench(fixture: ServingFixture, connections: int,
+                    requests_per_conn: int, window: int) -> dict:
+    server = fixture.server(engine_budget_s=0.2, max_age_s=0.002,
+                            queue_limit=256)
+    await server.start()
+    latencies_ms: list[float] = []
+    responses: list[PredictResponse] = []
+    t0 = time.perf_counter()
+    unanswered = await asyncio.gather(*(
+        replay_connection(server.port, fixture, lane, requests_per_conn,
+                          window, latencies_ms, responses)
+        for lane in range(connections)))
+    elapsed = time.perf_counter() - t0
+    await server.drain()
+    stats = server.stats()
+
+    total = connections * requests_per_conn
+    answered = len(responses)
+    ok = sum(1 for r in responses if r.status == "ok")
+    shed = sum(1 for r in responses if r.status == "shed")
+    tier_mix: dict[str, int] = {}
+    for response in responses:
+        if response.status == "ok":
+            tier_mix[response.tier] = tier_mix.get(response.tier, 0) + 1
+    ordered = sorted(latencies_ms)
+
+    def percentile(fraction: float) -> float:
+        if not ordered:
+            return float("nan")
+        return ordered[min(len(ordered) - 1,
+                           int(round(fraction * (len(ordered) - 1))))]
+
+    batches = stats["batches"]
+    return {
+        "connections": connections,
+        "requests_per_connection": requests_per_conn,
+        "pipeline_window": window,
+        "requests": total,
+        "answered": answered,
+        "unanswered": sum(unanswered),
+        "ok": ok,
+        "shed": shed,
+        "shed_rate": shed / total if total else 0.0,
+        "deadline_ms": DEADLINE_MS,
+        "deadline_misses": stats["deadline_misses"],
+        "elapsed_seconds": elapsed,
+        "predictions_per_sec": ok / elapsed if elapsed else 0.0,
+        "latency_p50_ms": percentile(0.50),
+        "latency_p99_ms": percentile(0.99),
+        "latency_mean_ms": (statistics.fmean(latencies_ms)
+                            if latencies_ms else float("nan")),
+        "mean_batch_size": ok / batches if batches else 0.0,
+        "tier_mix": {tier: tier_mix[tier] for tier in sorted(tier_mix)},
+        "top_tier_share": tier_mix.get("quantized", 0) / ok if ok else 0.0,
+        "engine_restarts": stats["engine_restarts"],
+        "breaker_trips": stats["breaker_trips"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    def positive(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--connections", type=positive, default=4)
+    parser.add_argument("--requests", type=positive, default=200,
+                        help="requests per connection")
+    parser.add_argument("--window", type=positive, default=16,
+                        help="max in-flight requests per connection")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 2 connections x 50 requests (every "
+                             "gate still holds)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.connections = min(args.connections, 2)
+        args.requests = min(args.requests, 50)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        print("[bench-serve] building serving fixture "
+              "(train + weight store)...", flush=True)
+        fixture = build_fixture(Path(tmp))
+        result = asyncio.run(run_bench(fixture, args.connections,
+                                       args.requests, args.window))
+
+    print(f"[bench-serve] {result['requests']} requests over "
+          f"{result['connections']} connections: "
+          f"p50 {result['latency_p50_ms']:.2f} ms   "
+          f"p99 {result['latency_p99_ms']:.2f} ms   "
+          f"{result['predictions_per_sec']:.0f} predictions/s   "
+          f"mean batch {result['mean_batch_size']:.1f}   "
+          f"shed {result['shed_rate']:.1%}", flush=True)
+    print(f"[bench-serve] tier mix: {result['tier_mix']}", flush=True)
+
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        **result,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if obs.enabled():  # REPRO_OBS=1: export spans + serving counters
+        paths = obs.export_all()
+        print(obs.render_summary(obs.merge_records()))
+        print(f"wrote {paths['trace']} (open in https://ui.perfetto.dev)")
+
+    failures = []
+    if result["answered"] + result["unanswered"] != result["requests"]:
+        failures.append("request accounting does not add up")
+    if result["unanswered"] > 0:
+        failures.append(f"{result['unanswered']} requests went unanswered")
+    if result["deadline_misses"] > 0:
+        failures.append(
+            f"{result['deadline_misses']} responses sent after their "
+            f"deadline")
+    if result["top_tier_share"] < MIN_TOP_TIER_SHARE:
+        failures.append(
+            f"top-tier share {result['top_tier_share']:.1%} "
+            f"< {MIN_TOP_TIER_SHARE:.0%} on a clean run")
+    if result["latency_p99_ms"] >= DEADLINE_MS:
+        failures.append(
+            f"p99 latency {result['latency_p99_ms']:.1f} ms >= the "
+            f"{DEADLINE_MS:.0f} ms deadline")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,324 @@
+"""Chaos drill for the online prediction service.
+
+Boots the full serving stack (weight store trained on the quick
+workload suite, quantized→float→static→baseline ladder) against a real
+loopback socket and drives it through a scripted storm: an engine
+crash, an engine hang, injected slow batches, malformed and oversized
+frames, a connection dropped mid-request, and finally a SIGTERM drain —
+all injected deterministically through ``repro.testing.faults``.
+
+Gates (exit non-zero on any failure):
+
+* **availability** — every request that was not deliberately dropped
+  gets exactly one response (``ok`` or an explicit ``shed``);
+* **deadlines** — zero responses sent after their deadline: degraded
+  answers arrive early, never late;
+* **tier tagging** — every ``ok`` response carries a valid ladder tier
+  and a full 14-parameter configuration, and the storm produces at
+  least one answer from every degraded rung it targets;
+* **bit-identity** — before and after the storm, top-tier answers are
+  bit-identical to the offline ``QuantizedPredictor.predict_batch``
+  output for the same feature vectors (the serving path adds
+  resilience, not numerics);
+* **recovery** — after the faults clear, the supervisor has
+  warm-restarted the engine and service returns to the top tier.
+
+Run with a hard job timeout: a hung degradation path should fail CI
+fast, not stall it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _serve_common import ServingFixture, build_fixture  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.serving import MAX_FRAME_BYTES, PredictResponse  # noqa: E402
+
+DEADLINE_MS = 5000.0
+ENGINE_BUDGET_S = 0.2
+
+failures: list[str] = []
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"[serve-drill] {status:>4}  {label}", flush=True)
+    if not condition:
+        failures.append(label)
+
+
+class Client:
+    """A drill client: one connection, responses matched by id."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "Client":
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port)
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        if self.writer is not None and not self.writer.is_closing():
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def send_raw(self, line: bytes) -> None:
+        assert self.writer is not None
+        self.writer.write(line)
+        await self.writer.drain()
+
+    async def request(self, request_id: str, features, program: str,
+                      deadline_ms: float = DEADLINE_MS) -> None:
+        await self.send_raw(json.dumps({
+            "id": request_id, "features": list(features),
+            "deadline_ms": deadline_ms, "program": program,
+        }).encode() + b"\n")
+
+    async def read_response(self, timeout: float = 5.0
+                            ) -> PredictResponse | None:
+        """The next response frame; ``None`` on EOF/reset (a drop)."""
+        assert self.reader is not None
+        try:
+            line = await asyncio.wait_for(self.reader.readline(), timeout)
+        except (ConnectionError, OSError):
+            return None
+        if not line:
+            return None
+        return PredictResponse.decode(line)
+
+
+async def ask(port: int, request_id: str, replay, **kwargs
+              ) -> PredictResponse | None:
+    async with Client(port) as client:
+        await client.request(request_id, replay.features, replay.program,
+                             **kwargs)
+        return await client.read_response()
+
+
+async def replay_burst(port: int, fixture: ServingFixture, tag: str,
+                       repeats: int) -> dict[str, PredictResponse | None]:
+    """Replay the whole suite ``repeats`` times over parallel
+    connections; responses keyed by request id."""
+
+    async def one_connection(lane: int) -> dict[str, PredictResponse | None]:
+        got: dict[str, PredictResponse | None] = {}
+        async with Client(port) as client:
+            ids = []
+            for n, item in enumerate(fixture.replay):
+                request_id = f"{tag}/{lane}/{item.program}/{item.phase_id}/{n}"
+                ids.append(request_id)
+                await client.request(request_id, item.features, item.program)
+            for request_id in ids:
+                response = await client.read_response()
+                if response is None:
+                    got[request_id] = None
+                    break
+                got[str(response.id)] = response
+        return got
+
+    lanes = await asyncio.gather(*(one_connection(lane)
+                                   for lane in range(repeats)))
+    merged: dict[str, PredictResponse | None] = {}
+    for lane in lanes:
+        merged.update(lane)
+    return merged
+
+
+def expected_by_id(fixture: ServingFixture, responses) -> int:
+    """Count responses whose config equals the offline quantized answer."""
+    offline = {(item.program, item.phase_id): item.offline
+               for item in fixture.replay}
+    matches = 0
+    for request_id, response in responses.items():
+        _, _, program, phase_id, _ = request_id.split("/")
+        if (response is not None and response.status == "ok"
+                and response.microarch_config()
+                == offline[(program, int(phase_id))]):
+            matches += 1
+    return matches
+
+
+async def drill(fixture: ServingFixture, fault_dir: Path) -> None:
+    server = fixture.server(engine_budget_s=ENGINE_BUDGET_S,
+                            max_age_s=0.005, queue_limit=128,
+                            failure_threshold=3, cooldown_s=0.2)
+    await server.start()
+    port = server.port
+    valid_tiers = {"quantized", "float", "static", "baseline"}
+    os.environ["REPRO_FAULTS_DIR"] = str(fault_dir)
+    os.environ["REPRO_FAULT_HANG_SECONDS"] = "30"
+    os.environ["REPRO_FAULT_SLOW_SECONDS"] = "0.02"
+
+    # -- phase 1: clean service ------------------------------------------------
+    clean = await replay_burst(port, fixture, "clean", repeats=3)
+    total = len(fixture.replay) * 3
+    check(len(clean) == total and all(r is not None for r in clean.values()),
+          f"clean: all {total} requests answered")
+    check(all(r.status == "ok" and r.tier == "quantized"
+              for r in clean.values() if r is not None),
+          "clean: every answer ok at the quantized top tier")
+    check(expected_by_id(fixture, clean) == total,
+          "clean: answers bit-identical to offline quantized batch path")
+    check(server.stats()["deadline_misses"] == 0, "clean: no deadline misses")
+    check(server.stats()["shed"] == 0, "clean: nothing shed")
+
+    # -- phase 2: engine crash -> degraded answer + warm restart ---------------
+    os.environ["REPRO_FAULTS"] = "crash@serve-engine:quantized/**1"
+    crashed = await ask(port, "crash/0", fixture.replay[0])
+    check(crashed is not None and crashed.status == "ok"
+          and crashed.tier == "float",
+          "crash: answered from the float rung, one tier down")
+    recovered = await ask(port, "crash/1", fixture.replay[1])
+    check(recovered is not None and recovered.tier == "quantized",
+          "crash: next batch back on quantized after warm restart")
+    check(server.stats()["engine_restarts"] >= 1,
+          "crash: supervisor counted a warm engine restart")
+
+    # -- phase 3: engine hang -> budgeted timeout -> fallback ------------------
+    os.environ["REPRO_FAULTS"] = "hang@serve-engine:quantized/**1"
+    hung = await ask(port, "hang/0", fixture.replay[0])
+    check(hung is not None and hung.status == "ok"
+          and hung.tier in ("float", "static"),
+          f"hang: degraded answer within budget "
+          f"(tier={getattr(hung, 'tier', None)})")
+    check(server.stats()["deadline_misses"] == 0,
+          "hang: bounded by the engine budget, no deadline miss")
+
+    # -- phase 4: slow batches stay on tier but are visible --------------------
+    os.environ["REPRO_FAULTS"] = "slow@serve-engine:quantized/**2"
+    slow_responses = [await ask(port, f"slow/{n}", fixture.replay[n % 4])
+                      for n in range(2)]
+    check(all(r is not None and r.status == "ok" and r.tier == "quantized"
+              for r in slow_responses),
+          "slow: latency injection keeps answers on the top tier")
+
+    # -- phase 5: malformed + oversized frames ---------------------------------
+    os.environ.pop("REPRO_FAULTS", None)
+    async with Client(port) as client:
+        await client.send_raw(b"not json at all\n")
+        bad = await client.read_response()
+        check(bad is not None and bad.status == "error",
+              "malformed: garbage frame answered with an error frame")
+        await client.request("after-garbage", fixture.replay[0].features,
+                             fixture.replay[0].program)
+        after = await client.read_response()
+        check(after is not None and after.status == "ok",
+              "malformed: connection survives a garbage frame")
+    async with Client(port) as client:
+        await client.send_raw(b'{"id":"big","features":['
+                              + b"1.0," * (MAX_FRAME_BYTES // 4) + b"1.0]}\n")
+        oversized = await client.read_response()
+        check(oversized is not None and oversized.status == "error",
+              "malformed: oversized frame answered with an error frame")
+
+    # -- phase 6: connection dropped mid-request -------------------------------
+    os.environ["REPRO_FAULTS"] = "drop@serve-conn:victim*1"
+    victim = await ask(port, "victim", fixture.replay[0])
+    check(victim is None, "drop: victim connection reset, no partial frame")
+    check(server.stats()["conn_drops"] == 1, "drop: server counted the drop")
+
+    # -- phase 7: mixed storm under load ---------------------------------------
+    os.environ["REPRO_FAULTS"] = ";".join([
+        "crash@serve-engine:quantized/**2",
+        "slow@serve-engine:**2",
+    ])
+    storm = await replay_burst(port, fixture, "storm", repeats=3)
+    os.environ.pop("REPRO_FAULTS", None)
+    answered = {rid: r for rid, r in storm.items() if r is not None}
+    check(len(storm) == total and len(answered) == total,
+          f"storm: all {total} requests answered (ok or shed)")
+    check(all(r.status in ("ok", "shed") for r in answered.values()),
+          "storm: every response is ok or an explicit shed")
+    ok_responses = [r for r in answered.values() if r.status == "ok"]
+    check(all(r.tier in valid_tiers for r in ok_responses),
+          "storm: every answer tagged with a valid ladder tier")
+    check(all(len(r.config) == 14 for r in ok_responses),
+          "storm: every answer carries the full 14-parameter config")
+    check(any(r.tier != "quantized" for r in ok_responses),
+          "storm: degraded tiers visible in the tier tags")
+    check(server.stats()["deadline_misses"] == 0,
+          "storm: zero deadline violations")
+
+    # -- phase 8: recovery back to bit-identical top tier ----------------------
+    await asyncio.sleep(0.25)  # let the breaker cooldown elapse
+    final = await replay_burst(port, fixture, "final", repeats=2)
+    final_total = len(fixture.replay) * 2
+    quantized = [r for r in final.values()
+                 if r is not None and r.tier == "quantized"]
+    check(len(quantized) == final_total,
+          "recovery: service back on the quantized top tier")
+    check(expected_by_id(fixture, final) == final_total,
+          "recovery: answers bit-identical to the offline batch path again")
+
+    # -- phase 9: SIGTERM drain ------------------------------------------------
+    server.install_signal_handlers()
+    async with Client(port) as client:
+        os.kill(os.getpid(), signal.SIGTERM)
+        await asyncio.wait_for(server.serve_until_drained(), timeout=10.0)
+        await client.request("too-late", fixture.replay[0].features,
+                             fixture.replay[0].program)
+        late = await client.read_response()
+        check(late is not None and late.status == "shed"
+              and "drain" in str(late.reason),
+              "drain: post-SIGTERM frames shed explicitly")
+    stats = server.stats()
+    print(f"[serve-drill] final stats: {stats}", flush=True)
+    check(stats["tiers"].get("quantized", 0) > 0
+          and sum(stats["tiers"].values()) == stats["ok"],
+          "accounting: tier counts cover every ok response")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-drill-") as tmp:
+        root = Path(tmp)
+        os.environ.pop("REPRO_FAULTS", None)
+        print("[serve-drill] building serving fixture "
+              "(train + weight store)...", flush=True)
+        fixture = build_fixture(root)
+        print(f"[serve-drill] replaying {len(fixture.replay)} suite phases, "
+              f"feature dim "
+              f"{len(fixture.replay[0].features)}", flush=True)
+        asyncio.run(drill(fixture, root / "fault-slots"))
+        os.environ.pop("REPRO_FAULTS", None)
+
+        if obs.enabled():
+            paths = obs.export_all()
+            records = obs.merge_records()
+            snap = obs.metrics_snapshot(records)
+            counters = snap["counters"]
+            check(counters.get("serve.request", 0) > 0,
+                  "obs: serving counters exported")
+            check(counters.get("serve.engine_restart", 0) >= 1,
+                  "obs: engine restarts visible in metrics")
+            summary = obs.render_summary(records)
+            check("serving:" in summary and "tier mix" in summary,
+                  "obs: summary renders the serving section")
+            print(summary, flush=True)
+            print(f"[serve-drill] wrote {paths['metrics']}", flush=True)
+
+    if failures:
+        print(f"[serve-drill] FAILED: {len(failures)} check(s): "
+              + "; ".join(failures), file=sys.stderr, flush=True)
+        return 1
+    print("[serve-drill] PASSED", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """The reprolint rule families.
 
-Four families, mirroring the repository's load-bearing invariants:
+Five families, mirroring the repository's load-bearing invariants:
 
 * ``RPL-D`` **determinism** — unseeded randomness, wall-clock reads in
   result paths, unordered set iteration feeding ordered output;
@@ -10,7 +10,10 @@ Four families, mirroring the repository's load-bearing invariants:
 * ``RPL-C`` **cache-hygiene** — ``DataStore`` keys missing the schema
   version, Cacti-style math outside the blessed implementation;
 * ``RPL-N`` **numeric-safety** — bare float equality, silent
-  ``float``→``int`` truncation.
+  ``float``→``int`` truncation;
+* ``RPL-A`` **async-safety** — synchronous blocking calls inside
+  ``async def`` bodies, which stall the serving event loop for every
+  connection at once.
 
 Every rule is a small AST pass over a :class:`~repro.analysis.module.
 ModuleInfo`; rules are registered in :data:`ALL_RULES` and documented
@@ -660,6 +663,56 @@ class FloatTruncationRule(Rule):
                     "// for integral division) to state the intent")
 
 
+# ---------------------------------------------------------------------------
+# RPL-A: async-safety
+# ---------------------------------------------------------------------------
+
+#: Synchronous call → what to use instead inside a coroutine.  Resolved
+#: through the module's import table, so aliases are caught too.
+_ASYNC_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "open": "a synchronous helper called before/after the await points",
+    "io.open": "a synchronous helper called before/after the await points",
+    "socket.socket": "asyncio streams (asyncio.open_connection/start_server)",
+    "socket.create_connection": "asyncio.open_connection",
+    "socket.getaddrinfo": "loop.getaddrinfo",
+    "socket.gethostbyname": "loop.getaddrinfo",
+    "subprocess.run": "asyncio.create_subprocess_exec",
+    "subprocess.call": "asyncio.create_subprocess_exec",
+    "subprocess.check_call": "asyncio.create_subprocess_exec",
+    "subprocess.check_output": "asyncio.create_subprocess_exec",
+}
+
+
+class AsyncBlockingCallRule(Rule):
+    id = "RPL-A001"
+    name = "blocking-call-in-async"
+    summary = ("synchronous blocking calls inside async def stall the "
+               "event loop for every connection at once")
+
+    def applies_to(self, path: str) -> bool:
+        # The serving layer lives in the package; scripts and tests may
+        # drive coroutines however they like.
+        return _in_repro_package(path) and not is_test_path(path)
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for call in _calls(module):
+            full = module.resolve(call.func)
+            replacement = _ASYNC_BLOCKING_CALLS.get(full or "")
+            if replacement is None:
+                continue
+            # Only the *nearest* enclosing function matters: a sync
+            # helper nested inside a coroutine runs when called, not
+            # where it is defined.
+            enclosing = module.enclosing_function(call)
+            if not isinstance(enclosing, ast.AsyncFunctionDef):
+                continue
+            yield self.diagnostic(
+                module, call,
+                f"{full}() blocks the event loop inside "
+                f"async def {enclosing.name}; use {replacement}")
+
+
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -671,6 +724,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BlessedCactiRule(),
     FloatEqualityRule(),
     FloatTruncationRule(),
+    AsyncBlockingCallRule(),
 )
 
 

@@ -85,8 +85,24 @@ class RetryPolicy:
 
     @classmethod
     def from_env(cls, environ: dict | None = None) -> "RetryPolicy":
+        """Policy from ``REPRO_MAX_RETRIES``.
+
+        ``0`` means exactly one attempt and no retries; negative values
+        clamp to 0 (callers mean "don't retry", not "never run"); unset
+        or blank falls back to the default budget; anything non-integer
+        is a loud configuration error rather than a silent default.
+        """
         environ = os.environ if environ is None else environ
-        return cls(max_retries=int(environ.get("REPRO_MAX_RETRIES", "2")))
+        raw = str(environ.get("REPRO_MAX_RETRIES", "")).strip()
+        if not raw:
+            return cls()
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_MAX_RETRIES must be an integer, got {raw!r}"
+            ) from None
+        return cls(max_retries=max(0, value))
 
     def delay(self, key: str, failure_count: int) -> float:
         """Sleep before the retry following failure ``failure_count``."""

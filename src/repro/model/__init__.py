@@ -3,7 +3,13 @@
 from repro.model.crossval import PhaseRecord, leave_one_program_out
 from repro.model.fastcv import FastCrossValidator, fast_leave_one_program_out
 from repro.model.quantize import QuantizedPredictor
-from repro.model.serialize import load_predictor, save_predictor
+from repro.model.serialize import (
+    WeightStore,
+    load_predictor,
+    load_weight_store,
+    save_predictor,
+    save_weight_store,
+)
 from repro.model.optimizer import CGResult, minimize_cg
 from repro.model.predictor import ConfigurationPredictor
 from repro.model.softmax import RowCompression, SoftmaxClassifier
@@ -25,12 +31,15 @@ __all__ = [
     "RowCompression",
     "SoftmaxClassifier",
     "TrainingSet",
+    "WeightStore",
     "build_full_datasets",
     "build_parameter_dataset",
     "fast_leave_one_program_out",
     "good_configurations",
     "leave_one_program_out",
     "load_predictor",
+    "load_weight_store",
     "minimize_cg",
     "save_predictor",
+    "save_weight_store",
 ]

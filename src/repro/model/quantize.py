@@ -16,11 +16,12 @@ per-matrix positive scale never changes the decision — only int8
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from repro.config.configuration import MicroarchConfig
-from repro.config.parameters import Parameter
+from repro.config.parameters import TABLE1_PARAMETERS, Parameter
 from repro.model.predictor import ConfigurationPredictor
 
 __all__ = ["QuantizedPredictor"]
@@ -48,6 +49,52 @@ class QuantizedPredictor:
             weights = predictor.classifiers[parameter.name].weights
             assert weights is not None
             self._matrices[parameter.name] = self._quantize(weights)
+
+    @classmethod
+    def from_state(
+        cls,
+        matrices: Mapping[str, np.ndarray],
+        scales: Mapping[str, float],
+        parameters: tuple[Parameter, ...] = TABLE1_PARAMETERS,
+    ) -> "QuantizedPredictor":
+        """Rebuild a quantised predictor from stored int8 matrices.
+
+        The inverse of :meth:`state`; used by the serving layer to warm
+        an engine from a weight store without re-quantising (and without
+        needing the float predictor at all).
+
+        Raises:
+            ValueError: on missing parameters, wrong dtype/shape, or a
+                non-positive scale.
+        """
+        instance = cls.__new__(cls)
+        instance.parameters = parameters
+        instance._matrices = {}
+        for parameter in parameters:
+            if parameter.name not in matrices:
+                raise ValueError(f"missing int8 weights for {parameter.name}")
+            weights = np.asarray(matrices[parameter.name])
+            if weights.dtype != np.int8:
+                raise ValueError(
+                    f"{parameter.name}: expected int8 weights, got "
+                    f"{weights.dtype}")
+            if weights.ndim != 2 or weights.shape[1] != parameter.cardinality:
+                raise ValueError(
+                    f"int8 weight shape mismatch for {parameter.name}: "
+                    f"{weights.shape}")
+            scale = float(scales.get(parameter.name, 0.0))
+            if scale <= 0.0:
+                raise ValueError(
+                    f"{parameter.name}: quantisation scale must be positive")
+            instance._matrices[parameter.name] = _QuantizedMatrix(
+                weights=weights, scale=scale)
+        return instance
+
+    def state(self) -> tuple[dict[str, np.ndarray], dict[str, float]]:
+        """Per-parameter int8 matrices and scales (for serialization)."""
+        matrices = {name: m.weights for name, m in self._matrices.items()}
+        scales = {name: m.scale for name, m in self._matrices.items()}
+        return matrices, scales
 
     @staticmethod
     def _quantize(weights: np.ndarray) -> _QuantizedMatrix:
@@ -77,6 +124,34 @@ class QuantizedPredictor:
             scores = x @ matrix.weights.astype(np.float64)
             values[parameter.name] = parameter.values[int(np.argmax(scores))]
         return MicroarchConfig.from_dict(values)
+
+    def predict_batch(self, x: np.ndarray) -> list[MicroarchConfig]:
+        """Batched int8 inference: one ``N x D @ D x K`` matmul per
+        parameter, mirroring
+        :meth:`~repro.model.predictor.ConfigurationPredictor.predict_batch`.
+
+        The serving drill's bit-identical gate compares this path against
+        the *same* offline batch path, so batching never changes the
+        comparison baseline.
+
+        Args:
+            x: an ``N x D`` matrix (or a single ``D``-vector, treated as
+                a one-row batch).
+        """
+        batch = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        indices: dict[str, np.ndarray] = {}
+        for parameter in self.parameters:
+            matrix = self._matrices[parameter.name]
+            indices[parameter.name] = np.argmax(
+                batch @ matrix.weights.astype(np.float64), axis=1)
+        return [
+            MicroarchConfig.from_dict({
+                parameter.name:
+                    parameter.values[int(indices[parameter.name][row])]
+                for parameter in self.parameters
+            })
+            for row in range(len(batch))
+        ]
 
     # -- reporting --------------------------------------------------------------
 

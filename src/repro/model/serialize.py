@@ -6,20 +6,51 @@ them in a small SRAM).  :func:`save_predictor` /
 :class:`~repro.model.predictor.ConfigurationPredictor` through a single
 ``.npz`` file — weights plus the metadata needed to rebuild the
 per-parameter classifiers.
+
+For the online prediction service there is a second, sturdier format:
+the **weight store** (:func:`save_weight_store` /
+:func:`load_weight_store`), a directory of one ``.npy`` file per array
+plus a JSON manifest with SHA-256 checksums.  Plain ``.npy`` files can
+be loaded memory-mapped (``np.load(..., mmap_mode="r")``), so a
+restarting engine worker re-arms from page cache instead of re-reading
+and decompressing an archive; the checksums turn silent corruption or
+truncation into a *classified* failure
+(:class:`~repro.experiments.errors.CorruptInputError`) that the serving
+supervisor knows how to degrade around, rather than an arbitrary
+crash deep inside the numpy loader.  The store carries both the float64
+weights and the int8-quantised form, so every rung of the serving
+degradation ladder warms from one artifact.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
-from repro.config.parameters import TABLE1_PARAMETERS, parameter_by_name
+from repro.config.parameters import (
+    TABLE1_PARAMETERS,
+    Parameter,
+    parameter_by_name,
+)
 from repro.model.predictor import ConfigurationPredictor
+from repro.model.quantize import QuantizedPredictor
 
-__all__ = ["save_predictor", "load_predictor"]
+__all__ = [
+    "save_predictor",
+    "load_predictor",
+    "WeightStore",
+    "save_weight_store",
+    "load_weight_store",
+]
 
 _FORMAT_VERSION = 1
+_STORE_VERSION = 1
+_MANIFEST = "manifest.json"
 
 
 def save_predictor(predictor: ConfigurationPredictor,
@@ -66,3 +97,203 @@ def load_predictor(path: str | Path) -> ConfigurationPredictor:
             parameters=parameters,
             regularization=float(data["__regularization__"][0]),
         )
+
+
+# ---------------------------------------------------------------------------
+# The serving weight store
+# ---------------------------------------------------------------------------
+
+
+def _corrupt(message: str) -> Exception:
+    """A :class:`CorruptInputError` (imported lazily: ``repro.experiments``
+    imports ``repro.model``, so a module-level import here would cycle)."""
+    from repro.experiments.errors import CorruptInputError
+
+    return CorruptInputError(message)
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class WeightStore:
+    """A loaded weight store: both precisions plus rebuild metadata.
+
+    ``float_weights`` / ``int8_weights`` values may be read-only
+    ``np.memmap`` views when loaded with ``mmap=True`` — callers must
+    treat them as immutable (the rebuilt predictors copy what they
+    need).
+    """
+
+    directory: Path
+    parameters: tuple[Parameter, ...]
+    regularization: float
+    float_weights: Mapping[str, np.ndarray]
+    int8_weights: Mapping[str, np.ndarray]
+    scales: Mapping[str, float]
+
+    def predictor(self) -> ConfigurationPredictor:
+        """The float64 predictor (ladder tier ``float``)."""
+        return ConfigurationPredictor.from_weights(
+            self.float_weights,
+            parameters=self.parameters,
+            regularization=self.regularization,
+        )
+
+    def quantized(self) -> QuantizedPredictor:
+        """The int8 predictor (ladder tier ``quantized``, the serving
+        default) — rebuilt from the stored matrices, not re-quantised."""
+        return QuantizedPredictor.from_state(
+            self.int8_weights, self.scales, parameters=self.parameters)
+
+
+def save_weight_store(predictor: ConfigurationPredictor,
+                      directory: str | Path) -> Path:
+    """Write a trained predictor (both precisions) as a weight store.
+
+    Layout: ``manifest.json`` plus one ``.npy`` per array
+    (``float_<param>.npy`` float64, ``int8_<param>.npy`` int8).  The
+    manifest records shapes, dtypes and SHA-256 checksums so
+    :func:`load_weight_store` can classify damage before inference
+    ever touches the bytes.
+
+    Raises:
+        ValueError: if the predictor is untrained.
+    """
+    if not predictor.is_trained:
+        raise ValueError("cannot save an untrained predictor")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    quantized = QuantizedPredictor(predictor)
+    int8_matrices, scales = quantized.state()
+    arrays: dict[str, dict[str, np.ndarray]] = {
+        "float": {name: np.ascontiguousarray(weights, dtype=np.float64)
+                  for name, weights in predictor.weights_state().items()},
+        "int8": int8_matrices,
+    }
+    manifest: dict[str, object] = {
+        "version": _STORE_VERSION,
+        "regularization": predictor.regularization,
+        "parameters": [p.name for p in predictor.parameters],
+        "scales": {name: scales[name] for name in sorted(scales)},
+        "arrays": {},
+    }
+    entries: dict[str, dict[str, object]] = {}
+    for kind, matrices in sorted(arrays.items()):
+        for name, matrix in sorted(matrices.items()):
+            filename = f"{kind}_{name}.npy"
+            np.save(directory / filename, matrix)
+            entries[filename] = {
+                "kind": kind,
+                "parameter": name,
+                "shape": list(matrix.shape),
+                "dtype": str(matrix.dtype),
+                "sha256": _sha256(directory / filename),
+            }
+    manifest["arrays"] = entries
+    manifest_path = directory / _MANIFEST
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                             + "\n", encoding="utf-8")
+    return directory
+
+
+def _load_array(path: Path, entry: Mapping[str, object], *,
+                mmap: bool, verify: bool) -> np.ndarray:
+    if not path.exists():
+        raise _corrupt(f"weight store array missing: {path.name}")
+    if verify:
+        digest = _sha256(path)
+        if digest != entry["sha256"]:
+            raise _corrupt(
+                f"checksum mismatch for {path.name}: stored "
+                f"{str(entry['sha256'])[:12]}…, found {digest[:12]}…")
+    try:
+        array = np.load(path, mmap_mode="r" if mmap else None,
+                        allow_pickle=False)
+    except (ValueError, OSError, EOFError) as error:
+        raise _corrupt(
+            f"unreadable weight store array {path.name}: {error}") from error
+    if (list(array.shape) != list(entry["shape"])
+            or str(array.dtype) != entry["dtype"]):
+        raise _corrupt(
+            f"{path.name}: manifest says {entry['dtype']}{entry['shape']}, "
+            f"file holds {array.dtype}{list(array.shape)}")
+    return array
+
+
+def load_weight_store(directory: str | Path, *, mmap: bool = True,
+                      verify: bool = True) -> WeightStore:
+    """Load a weight store written by :func:`save_weight_store`.
+
+    Args:
+        directory: the store directory.
+        mmap: open arrays memory-mapped read-only (the serving engine's
+            warm-restart path); ``False`` reads them into memory.
+        verify: check every array against its manifest SHA-256 before
+            loading (recommended; skipping it trades integrity for a
+            marginally faster reload).
+
+    Raises:
+        CorruptInputError: missing/truncated/garbled manifest or array
+            files, or checksum/shape/dtype mismatches — the *classified*
+            failure the serving supervisor degrades around.
+        ValueError: a well-formed store of an unsupported version or
+            with unknown parameters (a configuration error, not
+            corruption — retrying or invalidating will not help).
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise _corrupt(f"weight store has no {_MANIFEST}: {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        raise _corrupt(f"unreadable weight store manifest: {error}") from error
+    if not isinstance(manifest, dict) or "version" not in manifest:
+        raise _corrupt("weight store manifest is missing its version")
+    if int(manifest["version"]) != _STORE_VERSION:
+        raise ValueError(
+            f"unsupported weight store version v{manifest['version']}")
+    names = [str(n) for n in manifest.get("parameters", [])]
+    known = {p.name for p in TABLE1_PARAMETERS}
+    unknown = set(names) - known
+    if unknown:
+        raise ValueError(
+            f"unknown parameters in weight store: {sorted(unknown)}")
+    if not names:
+        raise _corrupt("weight store manifest lists no parameters")
+    entries = manifest.get("arrays")
+    if not isinstance(entries, dict):
+        raise _corrupt("weight store manifest has no array table")
+    float_weights: dict[str, np.ndarray] = {}
+    int8_weights: dict[str, np.ndarray] = {}
+    for name in names:
+        for kind, target in (("float", float_weights),
+                             ("int8", int8_weights)):
+            filename = f"{kind}_{name}.npy"
+            entry = entries.get(filename)
+            if entry is None:
+                raise _corrupt(
+                    f"weight store manifest lacks an entry for {filename}")
+            target[name] = _load_array(directory / filename, entry,
+                                       mmap=mmap, verify=verify)
+    scales = {str(name): float(value)
+              for name, value in dict(manifest.get("scales", {})).items()}
+    missing_scales = set(names) - set(scales)
+    if missing_scales:
+        raise _corrupt(
+            f"weight store manifest lacks scales for "
+            f"{sorted(missing_scales)}")
+    return WeightStore(
+        directory=directory,
+        parameters=tuple(parameter_by_name(n) for n in names),
+        regularization=float(manifest.get("regularization", 0.5)),
+        float_weights=float_weights,
+        int8_weights=int8_weights,
+        scales=scales,
+    )

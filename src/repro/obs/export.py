@@ -198,6 +198,32 @@ def render_summary(records: list[dict[str, object]],
             lines.append(
                 f"  DSE surrogate R^2       "
                 f"{gauges['dse.surrogate_r2']:.3f}")
+    serving = {name: value for name, value in counters.items()
+               if name.startswith("serve.")}
+    if serving:
+        lines.append("  serving:")
+        for label, key in (
+            ("requests", "serve.request"),
+            ("answered", "serve.ok"),
+            ("shed", "serve.shed"),
+            ("malformed frames", "serve.malformed"),
+            ("deadline misses", "serve.deadline_miss"),
+            ("deadline fallbacks", "serve.deadline_fallback"),
+            ("breaker trips", "serve.breaker_trip"),
+            ("engine restarts", "serve.engine_restart"),
+            ("tier fallbacks", "serve.tier_fallback"),
+        ):
+            lines.append(f"    {label:<21} {serving.get(key, 0.0):.0f}")
+        tiers = {name.removeprefix("serve.tier."): value
+                 for name, value in serving.items()
+                 if name.startswith("serve.tier.")}
+        if tiers:
+            total = sum(tiers.values())
+            mix = ", ".join(
+                f"{tier} {value / total:.1%}"
+                for tier, value in sorted(tiers.items(),
+                                          key=lambda item: -item[1]))
+            lines.append(f"    tier mix              {mix}")
     spans = snap["spans"]
     assert isinstance(spans, dict)
     if spans:

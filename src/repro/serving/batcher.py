@@ -1,0 +1,130 @@
+"""Deadline-aware micro-batching policy.
+
+The predictor's batched path amortises one N×D GEMM over N requests,
+so the server holds arriving requests briefly to form micro-batches.
+Two watermarks bound the holding, and per-request deadlines cut it
+short:
+
+* **size** — a batch never exceeds ``max_batch_size`` rows;
+* **age** — the oldest request never waits longer than ``max_age_s``;
+* **deadline** — a request with ``deadline_ms`` must reach the engine
+  while a full engine budget still fits before its deadline, so the
+  batch flushes at ``deadline - engine_budget_s`` if that comes first.
+
+The policy is pure logic over an injected monotonic clock — the asyncio
+server asks it *when* to flush and *which* requests can no longer
+afford the engine; tests drive it with a fake clock and no event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.serving.protocol import PredictRequest
+
+__all__ = ["PendingRequest", "MicroBatchPolicy"]
+
+
+@dataclass(frozen=True)
+class PendingRequest:
+    """An admitted request, stamped with arrival and absolute deadline.
+
+    ``deadline`` is on the policy's monotonic clock (``None`` = no
+    deadline); ``context`` is an opaque handle the server threads
+    through (its connection writer + lock).
+    """
+
+    request: PredictRequest
+    arrival: float
+    deadline: float | None
+    context: object = None
+
+    def remaining(self, now: float) -> float:
+        """Seconds until the deadline (``inf`` when unconstrained)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - now
+
+
+class MicroBatchPolicy:
+    """Size/age watermarks with deadline propagation.
+
+    Args:
+        max_batch_size: size watermark; flush as soon as this many
+            requests are pending.
+        max_age_s: age watermark; flush when the oldest pending request
+            has waited this long.
+        engine_budget_s: wall-clock budget reserved for the model
+            engines (the ladder's per-batch timeout).  A request whose
+            remaining deadline budget drops below this cannot get a
+            model answer in time and is answered early from the
+            fallback chain instead of late from the engine.
+        clock: monotonic time source.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 32,
+        max_age_s: float = 0.01,
+        engine_budget_s: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_age_s <= 0:
+            raise ValueError("max_age_s must be positive")
+        if engine_budget_s <= 0:
+            raise ValueError("engine_budget_s must be positive")
+        self.max_batch_size = max_batch_size
+        self.max_age_s = max_age_s
+        self.engine_budget_s = engine_budget_s
+        self.clock = clock
+
+    def admit(self, request: PredictRequest,
+              context: object = None) -> PendingRequest:
+        """Stamp a parsed request with arrival time and absolute deadline."""
+        now = self.clock()
+        deadline = (None if request.deadline_ms is None
+                    else now + request.deadline_ms / 1000.0)
+        return PendingRequest(request=request, arrival=now,
+                              deadline=deadline, context=context)
+
+    def flush_at(self, pending: Sequence[PendingRequest]) -> float:
+        """Absolute time at which the pending batch must flush.
+
+        The earlier of the age watermark (measured from the *oldest*
+        request) and, for each deadlined request, the last instant at
+        which a full engine budget still fits before its deadline.
+        """
+        if not pending:
+            raise ValueError("flush_at needs at least one pending request")
+        flush = pending[0].arrival + self.max_age_s
+        for item in pending:
+            if item.deadline is not None:
+                flush = min(flush, item.deadline - self.engine_budget_s)
+        return flush
+
+    def is_full(self, pending: Sequence[PendingRequest]) -> bool:
+        return len(pending) >= self.max_batch_size
+
+    def split_expired(
+        self, pending: Sequence[PendingRequest], now: float | None = None
+    ) -> tuple[list[PendingRequest], list[PendingRequest]]:
+        """Partition a flushing batch into (engine-eligible, expired).
+
+        Expired requests no longer have a full engine budget before
+        their deadline; the server answers them immediately from the
+        synchronous fallback chain — an early degraded answer instead
+        of a late accurate one.
+        """
+        now = self.clock() if now is None else now
+        eligible: list[PendingRequest] = []
+        expired: list[PendingRequest] = []
+        for item in pending:
+            if item.remaining(now) < self.engine_budget_s:
+                expired.append(item)
+            else:
+                eligible.append(item)
+        return eligible, expired

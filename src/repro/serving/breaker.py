@@ -1,0 +1,138 @@
+"""Circuit breaker around the prediction engine.
+
+A hung or crash-looping engine must not be allowed to eat every
+request's deadline budget one timeout at a time.  The breaker watches
+the engine's recent behaviour and, once it looks unhealthy, fails fast:
+batches skip the model tiers entirely and are answered from the static
+fallback chain until a probe shows the engine has recovered.
+
+States (the classic three):
+
+* **closed** — healthy; every batch may use the engine.  Consecutive
+  failures (exceptions, timeouts) and — when a latency threshold is
+  configured — consecutive over-latency successes are counted;
+  reaching the threshold *trips* the breaker.
+* **open** — failing fast; :meth:`allow` is ``False`` until the cooldown
+  has elapsed.
+* **half-open** — cooldown over; exactly one probe batch is let
+  through.  Success closes the breaker, failure re-opens it (and
+  restarts the cooldown).
+
+The clock is injected (``time.monotonic`` by default) so tests and the
+chaos drill drive state transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro import obs
+
+__all__ = ["CircuitBreaker"]
+
+#: Gauge encoding for ``serve.breaker_state``.
+_STATE_GAUGE = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure / latency trip → cooldown → probe → close.
+
+    Args:
+        failure_threshold: consecutive bad outcomes that trip the
+            breaker.
+        cooldown_s: seconds to stay open before allowing a probe.
+        latency_threshold_s: optional; a *successful* engine call slower
+            than this counts as a bad outcome (a soon-to-hang engine
+            usually slows down first).
+        clock: monotonic time source.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 0.25,
+        latency_threshold_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.latency_threshold_s = latency_threshold_s
+        self._clock = clock
+        self._state = "closed"
+        self._consecutive_bad = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (cooldown-aware)."""
+        if self._state == "open" and not self._probing \
+                and self._clock() - self._opened_at >= self.cooldown_s:
+            return "half-open"
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next batch may use the engine.
+
+        In half-open state the first caller becomes the probe; further
+        callers are refused until the probe's outcome is recorded.
+        """
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probing:
+            self._state = "half-open"
+            self._probing = True
+            self._set_gauge()
+            return True
+        return False
+
+    # -- outcomes --------------------------------------------------------------
+
+    def record_success(self, latency_s: float) -> None:
+        """An engine call returned; slow successes can still count as bad."""
+        if (self.latency_threshold_s is not None
+                and latency_s > self.latency_threshold_s):
+            self._bad()
+            return
+        self._consecutive_bad = 0
+        if self._state != "closed":
+            self._state = "closed"
+            self._probing = False
+            self._set_gauge()
+
+    def record_failure(self) -> None:
+        """An engine call raised or timed out."""
+        self._bad()
+
+    # -- internals -------------------------------------------------------------
+
+    def _bad(self) -> None:
+        if self._state == "half-open":
+            # The probe failed: straight back to open, fresh cooldown.
+            self._trip()
+            return
+        self._consecutive_bad += 1
+        if self._state == "closed" \
+                and self._consecutive_bad >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._probing = False
+        self._opened_at = self._clock()
+        self._consecutive_bad = 0
+        self.trips += 1
+        obs.inc("serve.breaker_trip")
+        self._set_gauge()
+
+    def _set_gauge(self) -> None:
+        obs.set_gauge("serve.breaker_state", _STATE_GAUGE[self._state])

@@ -1,5 +1,11 @@
 """Test-support utilities: deterministic fault injection."""
 
-from repro.testing.faults import FaultPlan, FaultRule, fault_prone_task, inject
+from repro.testing.faults import (
+    FaultPlan,
+    FaultRule,
+    claim,
+    fault_prone_task,
+    inject,
+)
 
-__all__ = ["FaultPlan", "FaultRule", "fault_prone_task", "inject"]
+__all__ = ["FaultPlan", "FaultRule", "claim", "fault_prone_task", "inject"]

@@ -13,21 +13,38 @@ processes inherit — no monkeypatching across process boundaries).
 
 * ``mode`` — what to do when the rule fires:
     * ``crash``     — ``os._exit(17)`` (kills the worker process; the
-      parent sees a ``BrokenProcessPool``);
+      parent sees a ``BrokenProcessPool``).  At serving sites (claimed,
+      not fired — see below) the engine raises ``EngineCrashError``
+      and the supervisor restarts it with a warm weight reload;
     * ``hang``      — sleep ``REPRO_FAULT_HANG_SECONDS`` (default 3600;
-      the parent's phase timeout must reclaim the worker);
+      the parent's phase timeout must reclaim the worker; the serving
+      engine budget must expire it);
+    * ``slow``      — sleep ``REPRO_FAULT_SLOW_SECONDS`` (default 0.05):
+      latency injection that stays *under* crash thresholds — exercises
+      the serving circuit breaker's latency trip;
     * ``transient`` — raise :class:`~repro.experiments.errors.
       TransientError` (exercises plain retry);
     * ``fatal``     — raise :class:`~repro.experiments.errors.
       FatalError` (exercises quarantine);
     * ``corrupt``   — at the ``store-write`` site only: the
       :class:`~repro.experiments.datastore.DataStore` garbles the entry
-      it just wrote (exercises checksum detection + invalidate/retry).
+      it just wrote (exercises checksum detection + invalidate/retry);
+    * ``drop``      — serving sites only: the server aborts the client
+      connection mid-request (exercises client retry/cleanup paths).
 * ``site`` — where the hook lives: ``worker`` (top of a pool worker's
   phase computation), ``compute`` (inside in-process
   ``ExperimentPipeline.phase_data``), ``store-write`` (after
-  ``DataStore.put``), or ``task`` (the :func:`fault_prone_task` helper
-  used by the runner tests).
+  ``DataStore.put``), ``task`` (the :func:`fault_prone_task` helper
+  used by the runner tests), or the serving sites ``serve-engine``
+  (per engine batch, keyed by batch sequence number) and ``serve-conn``
+  (per received frame, keyed by request id).
+
+Serving sites are *claimed* with :func:`claim` rather than fired:
+blocking inside the asyncio event loop would stall every connection, so
+the async caller receives the matched modes and enacts them itself
+(``await asyncio.sleep`` for ``hang``/``slow``, raising
+``EngineCrashError`` for ``crash``, aborting the transport for
+``drop``).  Budget accounting is identical either way.
 * ``pattern`` — an ``fnmatch`` glob over the fault key (phase keys are
   rendered ``program/phase_id``; store keys are cache keys).
 * ``count`` — how many times the rule fires in total, across *all*
@@ -55,9 +72,9 @@ from pathlib import Path
 
 from repro.experiments.errors import FatalError, TransientError
 
-__all__ = ["FaultRule", "FaultPlan", "inject", "fault_prone_task"]
+__all__ = ["FaultRule", "FaultPlan", "claim", "inject", "fault_prone_task"]
 
-_MODES = ("crash", "hang", "transient", "fatal", "corrupt")
+_MODES = ("crash", "hang", "slow", "transient", "fatal", "corrupt", "drop")
 _UNLIMITED = float("inf")
 
 
@@ -172,11 +189,30 @@ class FaultPlan:
             if rule.mode == "hang":
                 time.sleep(float(
                     os.environ.get("REPRO_FAULT_HANG_SECONDS", "3600")))
+            elif rule.mode == "slow":
+                time.sleep(float(
+                    os.environ.get("REPRO_FAULT_SLOW_SECONDS", "0.05")))
             elif rule.mode == "transient":
                 raise TransientError(f"injected transient fault at {site}:{key}")
             elif rule.mode == "fatal":
                 raise FatalError(f"injected fatal fault at {site}:{key}")
         return frozenset(fired)
+
+    def claim(self, site: str, key: str) -> frozenset[str]:
+        """Claim budget for every matching rule *without* enacting it.
+
+        The asyncio serving layer cannot block the event loop (and a
+        worker-style ``os._exit`` would take every connection with it),
+        so it asks which modes matched and performs the fault itself —
+        ``await asyncio.sleep`` for ``hang``/``slow``, an
+        ``EngineCrashError`` for ``crash``, a transport abort for
+        ``drop``.
+        """
+        claimed: set[str] = set()
+        for rule in self.rules:
+            if rule.matches(site, key) and self._acquire(rule):
+                claimed.add(rule.mode)
+        return frozenset(claimed)
 
 
 def inject(site: str, key: str) -> frozenset[str]:
@@ -190,6 +226,19 @@ def inject(site: str, key: str) -> frozenset[str]:
     if plan is None:
         return frozenset()
     return plan.fire(site, key)
+
+
+def claim(site: str, key: str) -> frozenset[str]:
+    """Claim (budget-account) matching fault modes without enacting them.
+
+    The async-safe twin of :func:`inject`, used at the serving sites:
+    the caller receives the matched modes and performs the fault itself
+    in event-loop-friendly form.
+    """
+    plan = FaultPlan.from_env()
+    if plan is None:
+        return frozenset()
+    return plan.claim(site, key)
 
 
 def fault_prone_task(key: str) -> str:

@@ -499,6 +499,97 @@ class TestFloatTruncation:
 
 
 # ---------------------------------------------------------------------------
+# RPL-A001: blocking calls in async bodies
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncBlockingCall:
+    def test_time_sleep_in_coroutine_flagged(self):
+        assert ids(
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1.0)\n"
+        ) == ["RPL-A001"]
+
+    def test_aliased_import_flagged(self):
+        assert ids(
+            "from time import sleep\n"
+            "async def handler():\n"
+            "    sleep(0.1)\n"
+        ) == ["RPL-A001"]
+
+    def test_open_in_coroutine_flagged(self):
+        assert ids(
+            "async def handler(path):\n"
+            "    with open(path) as f:\n"
+            "        return f.read()\n"
+        ) == ["RPL-A001"]
+
+    def test_socket_ops_in_coroutine_flagged(self):
+        assert ids(
+            "import socket\n"
+            "async def handler(host):\n"
+            "    return socket.create_connection((host, 80))\n"
+        ) == ["RPL-A001"]
+
+    def test_subprocess_in_coroutine_flagged(self):
+        assert ids(
+            "import subprocess\n"
+            "async def handler():\n"
+            "    subprocess.run(['true'])\n"
+        ) == ["RPL-A001"]
+
+    def test_asyncio_sleep_ok(self):
+        assert ids(
+            "import asyncio\n"
+            "async def handler():\n"
+            "    await asyncio.sleep(1.0)\n"
+        ) == []
+
+    def test_sync_function_ok(self):
+        assert ids(
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(1.0)\n"
+        ) == []
+
+    def test_sync_helper_nested_in_coroutine_ok(self):
+        # The nearest enclosing function decides: a sync helper defined
+        # inside a coroutine blocks at *call* time, not definition time.
+        assert ids(
+            "import time\n"
+            "async def handler():\n"
+            "    def helper():\n"
+            "        time.sleep(1.0)\n"
+            "    return helper\n"
+        ) == []
+
+    def test_lambda_inside_coroutine_flagged(self):
+        # Lambdas are not function scopes for this purpose: the nearest
+        # def/async-def still governs.
+        assert ids(
+            "import time\n"
+            "async def handler(run):\n"
+            "    return run(lambda: time.sleep(1.0))\n"
+        ) == ["RPL-A001"]
+
+    def test_scripts_not_in_scope(self):
+        source = "import time\nasync def main():\n    time.sleep(1.0)\n"
+        assert ids(source, path="scripts/example.py") == []
+
+    def test_tests_not_in_scope(self):
+        source = "import time\nasync def main():\n    time.sleep(1.0)\n"
+        assert ids(source, path="tests/test_example.py") == []
+
+    def test_suppressible(self):
+        assert ids(
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1.0)  # reprolint: disable=RPL-A001\n"
+        ) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 

@@ -85,6 +85,35 @@ class TestRetryPolicy:
         monkeypatch.setenv("REPRO_MAX_RETRIES", "7")
         assert RetryPolicy.from_env().max_retries == 7
 
+    def test_from_env_zero_means_one_attempt(self):
+        policy = RetryPolicy.from_env({"REPRO_MAX_RETRIES": "0"})
+        assert policy.max_retries == 0
+        attempts = []
+        slept = []
+
+        def always():
+            attempts.append(1)
+            raise TransientError("flaky")
+
+        with pytest.raises(TransientError):
+            retry_call(always, policy=policy, sleep=slept.append)
+        assert len(attempts) == 1  # no retries: exactly one attempt
+        assert slept == []         # and no backoff sleeps either
+
+    @pytest.mark.parametrize("raw", ["-1", "-99", " -3 "])
+    def test_from_env_negative_clamps_to_zero(self, raw):
+        assert RetryPolicy.from_env({"REPRO_MAX_RETRIES": raw}).max_retries == 0
+
+    @pytest.mark.parametrize("raw", ["", "   "])
+    def test_from_env_blank_uses_default(self, raw):
+        assert (RetryPolicy.from_env({"REPRO_MAX_RETRIES": raw}).max_retries
+                == RetryPolicy().max_retries)
+
+    @pytest.mark.parametrize("raw", ["two", "1.5", "0x2"])
+    def test_from_env_non_integer_is_loud(self, raw):
+        with pytest.raises(ValueError, match="REPRO_MAX_RETRIES"):
+            RetryPolicy.from_env({"REPRO_MAX_RETRIES": raw})
+
     def test_timeout_from_env(self, monkeypatch):
         assert phase_timeout_from_env({}) is None
         assert phase_timeout_from_env({"REPRO_PHASE_TIMEOUT": ""}) is None

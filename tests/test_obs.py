@@ -214,6 +214,38 @@ def test_render_summary_omits_dse_without_screens(obs_dir):
     assert "DSE" not in summary
 
 
+def test_render_summary_serving_section(obs_dir):
+    obs.inc("serve.request", 100)
+    obs.inc("serve.ok", 97)
+    obs.inc("serve.shed", 3)
+    obs.inc("serve.deadline_miss", 0)
+    obs.inc("serve.breaker_trip", 2)
+    obs.inc("serve.engine_restart", 1)
+    obs.inc("serve.tier.quantized", 90)
+    obs.inc("serve.tier.float", 6)
+    obs.inc("serve.tier.static", 4)
+    obs.inc("serve.tier_fallback", 10)
+    obs.flush()
+    summary = obs.render_summary(obs.merge_records(obs_dir))
+    assert "serving:" in summary
+    assert "shed" in summary and "3" in summary
+    assert "breaker trips" in summary and "2" in summary
+    assert "engine restarts" in summary and "1" in summary
+    assert "deadline misses" in summary
+    assert "tier mix" in summary
+    assert "quantized 90.0%" in summary
+    assert "float 6.0%" in summary
+    assert "static 4.0%" in summary
+
+
+def test_render_summary_omits_serving_without_traffic(obs_dir):
+    obs.inc("runner.retry", 1)
+    obs.flush()
+    summary = obs.render_summary(obs.merge_records(obs_dir))
+    assert "serving:" not in summary
+    assert "tier mix" not in summary
+
+
 def test_export_all_writes_three_files(obs_dir):
     with obs.span("something"):
         obs.inc("c")

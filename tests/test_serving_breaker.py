@@ -1,0 +1,109 @@
+"""Circuit-breaker state machine: trip, cooldown, probe, close."""
+
+import pytest
+
+from repro.serving.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=1.0, clock=clock)
+
+
+class TestTripping:
+    def test_starts_closed_and_allowing(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success(latency_s=0.001)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_latency_trip_counts_slow_successes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=1.0,
+                                 latency_threshold_s=0.010, clock=clock)
+        breaker.record_success(latency_s=0.5)
+        breaker.record_success(latency_s=0.5)
+        assert breaker.state == "open"
+
+    def test_no_latency_trip_without_threshold(self, breaker):
+        for _ in range(10):
+            breaker.record_success(latency_s=99.0)
+        assert breaker.state == "closed"
+
+
+class TestRecovery:
+    def trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_half_open_after_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(0.5)
+        assert breaker.state == "open"
+        clock.advance(0.6)
+        assert breaker.state == "half-open"
+
+    def test_single_probe_admitted(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.1)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else waits for its outcome
+
+    def test_probe_success_closes(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success(latency_s=0.001)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        clock.advance(0.9)
+        assert breaker.state == "open"  # cooldown restarted at re-trip
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0.0, clock=clock)

@@ -1,0 +1,106 @@
+"""Wire-protocol parsing and encoding for the prediction service."""
+
+import json
+
+import pytest
+
+from repro.config import PROFILING_CONFIG
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+)
+
+
+def frame(**payload) -> bytes:
+    return json.dumps(payload).encode()
+
+
+class TestPredictRequestParse:
+    def test_full_frame(self):
+        request = PredictRequest.parse(frame(
+            id="mcf/3", features=[0.5, 1, -2.25],
+            deadline_ms=50, program="mcf"))
+        assert request.id == "mcf/3"
+        assert request.features == (0.5, 1.0, -2.25)
+        assert request.deadline_ms == 50.0
+        assert request.program == "mcf"
+
+    def test_minimal_frame(self):
+        request = PredictRequest.parse(frame(id=7, features=[1.0]))
+        assert request.id == "7"  # scalar ids are stringified
+        assert request.deadline_ms is None
+        assert request.program is None
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n",
+        b"[1, 2, 3]",
+        b'"just a string"',
+        b"\xff\xfe garbage",
+    ])
+    def test_non_object_frames_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            PredictRequest.parse(line)
+
+    @pytest.mark.parametrize("payload", [
+        {"features": [1.0]},                          # missing id
+        {"id": True, "features": [1.0]},              # bool id
+        {"id": ["x"], "features": [1.0]},             # non-scalar id
+        {"id": "a"},                                  # missing features
+        {"id": "a", "features": []},                  # empty features
+        {"id": "a", "features": "1,2"},               # non-array features
+        {"id": "a", "features": [1.0, "x"]},          # non-numeric feature
+        {"id": "a", "features": [1.0, True]},         # bool feature
+        {"id": "a", "features": [1.0], "deadline_ms": 0},
+        {"id": "a", "features": [1.0], "deadline_ms": -5},
+        {"id": "a", "features": [1.0], "deadline_ms": "soon"},
+        {"id": "a", "features": [1.0], "program": 3},
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            PredictRequest.parse(frame(**payload))
+
+    def test_non_finite_features_rejected(self):
+        line = b'{"id": "a", "features": [1.0, NaN]}'
+        with pytest.raises(ProtocolError):
+            PredictRequest.parse(line)
+
+    def test_error_carries_recoverable_id(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            PredictRequest.parse(frame(id="known", features=[]))
+        assert excinfo.value.request_id == "known"
+
+    def test_oversized_frame_rejected(self):
+        padding = "x" * MAX_FRAME_BYTES
+        with pytest.raises(ProtocolError, match="exceeds"):
+            PredictRequest.parse(frame(id="a", features=[1.0], pad=padding))
+
+
+class TestPredictResponse:
+    def test_ok_roundtrip(self):
+        response = PredictResponse.ok("r1", PROFILING_CONFIG, "quantized")
+        decoded = PredictResponse.decode(response.encode())
+        assert decoded.id == "r1"
+        assert decoded.status == "ok"
+        assert decoded.tier == "quantized"
+        assert decoded.microarch_config() == PROFILING_CONFIG
+
+    def test_shed_roundtrip(self):
+        decoded = PredictResponse.decode(
+            PredictResponse.shed("r2", "queue full").encode())
+        assert decoded.status == "shed"
+        assert decoded.reason == "queue full"
+        with pytest.raises(ValueError, match="no config"):
+            decoded.microarch_config()
+
+    def test_error_without_id(self):
+        decoded = PredictResponse.decode(
+            PredictResponse.error(None, "invalid JSON").encode())
+        assert decoded.id is None
+        assert decoded.status == "error"
+
+    def test_encode_is_one_line(self):
+        encoded = PredictResponse.ok("r", PROFILING_CONFIG, "float").encode()
+        assert encoded.endswith(b"\n")
+        assert encoded.count(b"\n") == 1

@@ -1,0 +1,335 @@
+"""End-to-end tests of the asyncio prediction server.
+
+Real sockets on loopback, real event loop, deterministic faults from
+``REPRO_FAULTS`` — the same machinery ``scripts/serve_drill.py``
+exercises at larger scale.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import PROFILING_CONFIG, TABLE1_PARAMETERS
+from repro.model.predictor import ConfigurationPredictor
+from repro.model.serialize import save_weight_store
+from repro.serving import PredictResponse, build_service
+
+FEATURE_DIM = 8
+
+
+@pytest.fixture(scope="module")
+def offline_predictor():
+    rng = np.random.default_rng(1234)
+    weights = {p.name: rng.normal(size=(FEATURE_DIM, len(p.values)))
+               for p in TABLE1_PARAMETERS}
+    return ConfigurationPredictor.from_weights(weights)
+
+
+@pytest.fixture(scope="module")
+def store_path(offline_predictor, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serving") / "weights"
+    save_weight_store(offline_predictor, path)
+    return path
+
+
+@pytest.fixture
+def features():
+    rng = np.random.default_rng(99)
+    return rng.normal(size=(6, FEATURE_DIM))
+
+
+STATIC_TABLE = {"mcf": PROFILING_CONFIG.with_value("width", 2)}
+
+
+def service(store_path, **kwargs):
+    kwargs.setdefault("engine_budget_s", 0.25)
+    kwargs.setdefault("max_age_s", 0.003)
+    kwargs.setdefault("static_table", STATIC_TABLE)
+    return build_service(store_path, **kwargs)
+
+
+async def send_frames(port, payloads, *, expect=None):
+    """One connection, many frames; returns decoded responses."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    for payload in payloads:
+        line = (payload if isinstance(payload, bytes)
+                else json.dumps(payload).encode() + b"\n")
+        writer.write(line)
+    await writer.drain()
+    responses = []
+    for _ in range(len(payloads) if expect is None else expect):
+        line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        if not line:
+            break
+        responses.append(PredictResponse.decode(line))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return responses
+
+
+class TestHappyPath:
+    def test_quantized_tier_bit_identical_to_offline_batch(
+            self, store_path, features):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            payloads = [{"id": f"r{n}", "features": list(row),
+                         "deadline_ms": 5000.0}
+                        for n, row in enumerate(features)]
+            responses = await send_frames(server.port, payloads)
+            await server.drain()
+            return server, responses
+
+        server, responses = asyncio.run(scenario())
+        assert all(r.status == "ok" for r in responses)
+        assert all(r.tier == "quantized" for r in responses)
+        # The served answers must be bit-identical to the offline int8
+        # batch path over the same feature matrix.
+        offline = server.ladder.model_engines[0]._loader().predict_batch(
+            np.asarray(features))
+        by_id = {r.id: r.microarch_config() for r in responses}
+        for n, expected in enumerate(offline):
+            assert by_id[f"r{n}"] == expected
+        assert server.stats()["deadline_misses"] == 0
+
+    def test_requests_without_deadline_or_program(self, store_path, features):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            responses = await send_frames(
+                server.port, [{"id": "x", "features": list(features[0])}])
+            await server.drain()
+            return responses
+
+        (response,) = asyncio.run(scenario())
+        assert response.status == "ok"
+        assert response.tier == "quantized"
+
+
+class TestMalformedFrames:
+    def test_malformed_frame_answers_error_and_keeps_connection(
+            self, store_path, features):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            responses = await send_frames(server.port, [
+                b"this is not json\n",
+                {"id": "ok-after", "features": list(features[0])},
+            ])
+            await server.drain()
+            return server, responses
+
+        server, (error, ok) = asyncio.run(scenario())
+        assert error.status == "error"
+        assert ok.status == "ok" and ok.id == "ok-after"
+        assert server.stats()["malformed"] == 1
+
+    def test_oversized_frame_answers_error_then_closes(self, store_path):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            huge = b'{"id": "big", "pad": "' + b"x" * (80 * 1024) + b'"}\n'
+            responses = await send_frames(server.port, [huge], expect=1)
+            await server.drain()
+            return responses
+
+        (response,) = asyncio.run(scenario())
+        assert response.status == "error"
+        assert "exceeds" in response.reason
+
+
+class TestDeadlines:
+    def test_hopeless_deadline_answered_early_from_static_tier(
+            self, store_path, features):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            # 20ms deadline < 250ms engine budget: can never afford the
+            # model, must get an immediate degraded answer.
+            responses = await send_frames(server.port, [
+                {"id": "tight", "features": list(features[0]),
+                 "deadline_ms": 20.0, "program": "mcf"}])
+            await server.drain()
+            return server, responses
+
+        server, (response,) = asyncio.run(scenario())
+        assert response.status == "ok"
+        assert response.tier == "static"
+        assert response.microarch_config() == STATIC_TABLE["mcf"]
+        assert server.stats()["deadline_misses"] == 0
+
+    def test_unknown_program_gets_static_default(self, store_path, features):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            responses = await send_frames(server.port, [
+                {"id": "t", "features": list(features[0]),
+                 "deadline_ms": 20.0, "program": "not-in-table"}])
+            await server.drain()
+            return responses
+
+        (response,) = asyncio.run(scenario())
+        assert response.tier == "static"
+        assert response.microarch_config() == PROFILING_CONFIG
+
+
+class TestFaultInjection:
+    def test_engine_crash_degrades_then_warm_restarts(
+            self, store_path, features, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@serve-engine:quantized/1")
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "faults"))
+
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            first = await send_frames(
+                server.port, [{"id": "a", "features": list(features[0])}])
+            second = await send_frames(
+                server.port, [{"id": "b", "features": list(features[1])}])
+            await server.drain()
+            return server, first[0], second[0]
+
+        server, first, second = asyncio.run(scenario())
+        # Crash batch: answered by the float rung, one tier down.
+        assert first.status == "ok" and first.tier == "float"
+        # Next batch: supervisor warm-reloaded the quantized engine.
+        assert second.status == "ok" and second.tier == "quantized"
+        stats = server.stats()
+        assert stats["engine_restarts"] == 1
+        assert stats["breaker_state"] == "closed"
+
+    def test_repeated_crashes_trip_breaker_to_fallback(
+            self, store_path, features, tmp_path, monkeypatch):
+        # "**inf": match-all pattern "*", unlimited firing count.
+        monkeypatch.setenv("REPRO_FAULTS", "crash@serve-engine:**inf")
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "faults"))
+
+        async def scenario():
+            server = service(store_path, failure_threshold=2,
+                             cooldown_s=30.0)
+            await server.start()
+            responses = []
+            for n in range(4):
+                responses.extend(await send_frames(
+                    server.port,
+                    [{"id": f"r{n}", "features": list(features[n]),
+                      "program": "mcf"}]))
+            await server.drain()
+            return server, responses
+
+        server, responses = asyncio.run(scenario())
+        assert all(r.status == "ok" for r in responses)
+        # Once the breaker is open the model tiers are skipped and the
+        # static table answers instantly.
+        assert responses[-1].tier == "static"
+        stats = server.stats()
+        assert stats["breaker_trips"] >= 1
+        assert stats["breaker_state"] == "open"
+
+    def test_engine_hang_is_bounded_by_engine_budget(
+            self, store_path, features, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "hang@serve-engine:quantized/1")
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "faults"))
+
+        async def scenario():
+            server = service(store_path, engine_budget_s=0.05)
+            await server.start()
+            started = asyncio.get_running_loop().time()
+            responses = await send_frames(
+                server.port, [{"id": "h", "features": list(features[0]),
+                               "program": "mcf"}])
+            elapsed = asyncio.get_running_loop().time() - started
+            await server.drain()
+            return responses, elapsed
+
+        (response,), elapsed = asyncio.run(scenario())
+        assert response.status == "ok"
+        assert response.tier in ("float", "static")
+        assert elapsed < 2.0  # nowhere near REPRO_FAULT_HANG_SECONDS
+
+    def test_connection_drop_mid_request(self, store_path, features,
+                                         tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "drop@serve-conn:victim")
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "faults"))
+
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            dropped = await send_frames(
+                server.port, [{"id": "victim",
+                               "features": list(features[0])}], expect=1)
+            survivor = await send_frames(
+                server.port, [{"id": "fine", "features": list(features[1])}])
+            await server.drain()
+            return server, dropped, survivor
+
+        server, dropped, survivor = asyncio.run(scenario())
+        assert dropped == []  # reset before any response bytes
+        assert survivor[0].status == "ok"
+        assert server.stats()["conn_drops"] == 1
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_with_explicit_response(
+            self, store_path, features, tmp_path, monkeypatch):
+        # Wedge the engine so the admission queue can actually fill.
+        monkeypatch.setenv("REPRO_FAULTS", "hang@serve-engine:**inf")
+        monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "faults"))
+
+        async def scenario():
+            server = service(store_path, engine_budget_s=0.6,
+                             queue_limit=1, max_age_s=0.001)
+            await server.start()
+            payloads = [{"id": f"r{n}", "features": list(features[n]),
+                         "program": "mcf"} for n in range(4)]
+            responses = await send_frames(server.port, payloads)
+            await server.drain()
+            return server, responses
+
+        server, responses = asyncio.run(scenario())
+        by_status = {}
+        for response in responses:
+            by_status.setdefault(response.status, []).append(response)
+        assert by_status.get("shed"), "expected at least one shed response"
+        shed = by_status["shed"][0]
+        assert "queue full" in shed.reason
+        # Everyone else still got an answer (degraded, but on time).
+        assert len(by_status.get("ok", [])) + len(by_status["shed"]) == 4
+        assert server.stats()["shed"] >= 1
+
+
+class TestDrain:
+    def test_drain_sheds_new_frames_but_keeps_connections(
+            self, store_path, features):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            await server.drain()
+            writer.write(json.dumps(
+                {"id": "late", "features": list(features[0])}
+            ).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            writer.close()
+            await writer.wait_closed()
+            return PredictResponse.decode(line)
+
+        response = asyncio.run(scenario())
+        assert response.status == "shed"
+        assert "draining" in response.reason
+
+    def test_drain_is_idempotent(self, store_path):
+        async def scenario():
+            server = service(store_path)
+            await server.start()
+            await server.drain()
+            await server.drain()
+
+        asyncio.run(scenario())

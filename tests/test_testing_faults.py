@@ -142,3 +142,52 @@ class TestInject:
     def test_fault_prone_task_returns_key(self):
         from repro.testing.faults import fault_prone_task
         assert fault_prone_task("k1") == "k1"
+
+    def test_slow_sleeps_configured_seconds(self, monkeypatch):
+        import time
+        monkeypatch.setenv("REPRO_FAULTS", "slow@task:s")
+        monkeypatch.setenv("REPRO_FAULT_SLOW_SECONDS", "0.03")
+        start = time.monotonic()
+        assert inject("task", "s") == frozenset({"slow"})
+        assert time.monotonic() - start >= 0.03
+
+
+class TestClaim:
+    """The async-safe twin of inject(): budget accounting, no enactment."""
+
+    def test_noop_without_env(self):
+        assert faults.claim("serve-engine", "quantized/1") == frozenset()
+
+    def test_claims_matching_modes_without_enacting(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "crash@serve-engine:quantized/*;hang@serve-engine:quantized/*")
+        # Both modes match; neither is performed here — no exit, no sleep.
+        assert faults.claim("serve-engine", "quantized/1") == frozenset(
+            {"crash", "hang"})
+
+    def test_claim_spends_the_same_budget_as_fire(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "drop@serve-conn:r1*2")
+        assert faults.claim("serve-conn", "r1") == frozenset({"drop"})
+        assert faults.claim("serve-conn", "r1") == frozenset({"drop"})
+        assert faults.claim("serve-conn", "r1") == frozenset()  # spent
+
+    def test_claim_respects_site_and_pattern(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "drop@serve-conn:victim")
+        assert faults.claim("serve-engine", "victim") == frozenset()
+        assert faults.claim("serve-conn", "other") == frozenset()
+        assert faults.claim("serve-conn", "victim") == frozenset({"drop"})
+
+    def test_claim_counts_shared_with_fire(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "slow@task:shared*1")
+        assert faults.claim("task", "shared") == frozenset({"slow"})
+        # fire() sees the budget already spent by claim().
+        assert inject("task", "shared") == frozenset()
+
+    def test_drop_parses_as_a_mode(self):
+        rule = FaultRule.parse("drop@serve-conn:req-7")
+        assert rule.mode == "drop"
+        assert rule.spec() == "drop@serve-conn:req-7"
+
+    def test_slow_parses_as_a_mode(self):
+        assert FaultRule.parse("slow@serve-engine:**inf").count == float("inf")
