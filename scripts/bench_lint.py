@@ -1,0 +1,205 @@
+"""Benchmark + bit-identity gate for the incremental reprolint engine.
+
+The engine's incremental cache only earns its keep if (a) a warm run
+after a one-module edit is much faster than a cold run and (b) the warm
+findings are *bit-identical* to an uncached run of the same tree.  This
+script measures both on a disposable copy of the real ``src``/
+``scripts`` trees — the repository itself is never mutated — and writes
+the numbers to ``BENCH_lint.json``:
+
+1. **cold** — empty cache, full analysis of every module;
+2. **warm-noop** — nothing changed; every module should hit the cache;
+3. **warm-edit** — one module edited (a seeded violation is injected so
+   the identity check compares non-empty findings); exactly one module
+   re-analysed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_lint.py           # full gates
+    PYTHONPATH=src python scripts/bench_lint.py --smoke   # CI-friendly
+
+Gates (exit non-zero on violation):
+
+- warm-edit findings must be bit-identical to an uncached run of the
+  edited tree, and must contain the injected findings (always enforced);
+- the warm-noop run must hit the cache for every module and re-analyse
+  zero (always enforced);
+- warm-edit must re-analyse exactly one module (always enforced);
+- outside ``--smoke``, the warm-edit run must be >= 2x faster than
+  cold; under ``--smoke`` (shared CI runners) warm merely has to beat
+  cold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REQUIRED_SPEEDUP = 2.0
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Injected into the copied tree for the warm-edit scenario: one
+#: transitive async-blocking chain and one unversioned key, so the
+#: bit-identity comparison is over non-empty findings.
+_VIOLATION = '''\
+"""Seeded violations for the lint benchmark (never imported)."""
+
+import time
+
+
+def _backoff():
+    time.sleep(0.05)
+
+
+async def pump(store, phase):
+    _backoff()
+    store.put(f"bench/{phase}", b"")
+'''
+
+_EXPECTED_RULES = {"RPL-A002", "RPL-C001", "RPL-C003"}
+
+
+def _copy_tree(destination: Path) -> list[Path]:
+    paths = []
+    for name in ("src", "scripts"):
+        shutil.copytree(REPO / name, destination / name,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        paths.append(destination / name)
+    return paths
+
+
+def _timed(repeats: int, fn):
+    """Median wall time and last result of ``fn`` over ``repeats`` runs."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples), result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="relax the speedup gate to warm < cold "
+                             "(shared CI runners)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per scenario (median)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the cold run")
+    parser.add_argument("--output", type=Path,
+                        default=REPO / "BENCH_lint.json")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="reprolint-bench-") as raw:
+        workdir = Path(raw)
+        paths = _copy_tree(workdir)
+        cache_dir = workdir / ".reprolint-cache"
+
+        # 1. cold: empty cache every repeat.
+        def cold_run():
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            return analyze_paths(paths, cache_dir=cache_dir,
+                                 jobs=args.jobs)
+
+        cold_s, cold = _timed(args.repeats, cold_run)
+
+        # 2. warm-noop: nothing changed since the last cold run.
+        warm_noop_s, warm_noop = _timed(
+            args.repeats, lambda: analyze_paths(paths, cache_dir=cache_dir))
+        if warm_noop.modules_analyzed != 0:
+            failures.append(
+                f"warm-noop re-analysed {warm_noop.modules_analyzed} "
+                "module(s); expected 0")
+        if warm_noop.diagnostics != cold.diagnostics:
+            failures.append("warm-noop findings differ from cold run")
+
+        # 3. warm-edit: inject one new violating module.
+        injected = workdir / "src" / "repro" / "serving" / "_bench_probe.py"
+        injected.write_text(_VIOLATION, encoding="utf-8")
+
+        def warm_edit_run():
+            # Re-write the file each repeat so its mtime churn cannot
+            # matter (the cache is content-hashed) while the engine
+            # still sees exactly one changed module after the first
+            # repeat re-populates the cache entry... so: drop only this
+            # entry by rewriting content each time.
+            probe = _VIOLATION.replace("0.05", f"0.0{time.perf_counter_ns() % 7 + 1}")
+            injected.write_text(probe, encoding="utf-8")
+            return analyze_paths(paths, cache_dir=cache_dir)
+
+        warm_edit_s, warm_edit = _timed(args.repeats, warm_edit_run)
+        if warm_edit.modules_analyzed != 1:
+            failures.append(
+                f"warm-edit re-analysed {warm_edit.modules_analyzed} "
+                "module(s); expected exactly 1")
+
+        # Bit-identity: warm findings == uncached findings, non-empty.
+        reference = analyze_paths(paths)
+        if warm_edit.diagnostics != reference.diagnostics:
+            failures.append("warm-edit findings are not bit-identical to "
+                            "an uncached run")
+        found_rules = {d.rule for d in warm_edit.diagnostics
+                       if "_bench_probe" in d.path}
+        if not _EXPECTED_RULES <= found_rules:
+            failures.append(
+                f"injected violations not all found: expected "
+                f"{sorted(_EXPECTED_RULES)}, got {sorted(found_rules)}")
+
+    speedup = cold_s / warm_edit_s if warm_edit_s > 0 else float("inf")
+    if args.smoke:
+        if warm_edit_s >= cold_s:
+            failures.append(
+                f"warm-edit ({warm_edit_s:.3f}s) not faster than cold "
+                f"({cold_s:.3f}s)")
+    elif speedup < REQUIRED_SPEEDUP:
+        failures.append(
+            f"warm-edit speedup {speedup:.1f}x below required "
+            f"{REQUIRED_SPEEDUP:.0f}x")
+
+    report = {
+        "bench": "lint",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "jobs": args.jobs,
+        "repeats": args.repeats,
+        "files_checked": cold.files_checked,
+        "cold_s": round(cold_s, 4),
+        "warm_noop_s": round(warm_noop_s, 4),
+        "warm_edit_s": round(warm_edit_s, 4),
+        "speedup_cold_over_warm_edit": round(speedup, 2),
+        "warm_noop_cache_hit_rate": round(warm_noop.cache_hit_rate, 4),
+        "warm_edit_modules_analyzed": warm_edit.modules_analyzed,
+        "warm_edit_cache_hits": warm_edit.cache_hits,
+        "findings_injected": sorted(found_rules),
+        "bit_identical": "findings" not in " ".join(failures),
+        "failures": failures,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"bench_lint: GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_lint: ok — cold {cold_s:.3f}s, warm edit "
+          f"{warm_edit_s:.3f}s ({speedup:.1f}x), noop hit rate "
+          f"{warm_noop.cache_hit_rate:.0%}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,18 @@ this package pulls in no third-party dependency.
 from __future__ import annotations
 
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.engine import check_file, check_paths, check_source, main
+from repro.analysis.engine import (
+    AnalysisReport,
+    UnknownRuleError,
+    analyze_paths,
+    check_file,
+    check_paths,
+    check_project_sources,
+    check_source,
+    main,
+)
+from repro.analysis.interproc import INTERPROC_RULES, ProjectRule
+from repro.analysis.project import ModuleFacts, Project, extract_facts
 from repro.analysis.rules import ALL_RULES, Rule, rule_by_id
 
 __all__ = [
@@ -41,8 +52,17 @@ __all__ = [
     "Rule",
     "ALL_RULES",
     "rule_by_id",
+    "ProjectRule",
+    "INTERPROC_RULES",
+    "ModuleFacts",
+    "Project",
+    "extract_facts",
     "check_source",
     "check_file",
     "check_paths",
+    "check_project_sources",
+    "analyze_paths",
+    "AnalysisReport",
+    "UnknownRuleError",
     "main",
 ]

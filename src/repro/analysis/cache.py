@@ -1,0 +1,121 @@
+"""Content-hash incremental cache for the analysis engine.
+
+The manifest (``.reprolint-cache/cache.json``) stores, per analysed
+file, the SHA-256 of its source, the serialised whole-program
+:class:`~repro.analysis.project.ModuleFacts`, and the *unfiltered*
+per-file diagnostics (every rule, post-suppression).  A warm run then:
+
+* skips parsing and per-file rules for every unchanged file — the two
+  costs that dominate a cold run;
+* still re-runs the whole-program passes over the (cached) facts, which
+  is cheap and makes warm output bit-identical to cold by construction
+  rather than by bookkeeping;
+* filters ``--select``/``--ignore`` at report time, so one cache serves
+  every rule selection.
+
+The whole cache is keyed by an *engine fingerprint* — a hash over the
+analysis package's own sources — so editing any rule invalidates every
+entry at once.  Corrupt or version-skewed manifests are discarded, not
+repaired: the cache is a pure accelerator and cold behaviour is always
+correct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import ModuleFacts
+
+__all__ = ["LintCache", "engine_fingerprint", "source_digest",
+           "DEFAULT_CACHE_DIR"]
+
+_MANIFEST_VERSION = 1
+DEFAULT_CACHE_DIR = ".reprolint-cache"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analysis package's own sources.
+
+    Any change to a rule, the extractor or the engine flips this and
+    cold-starts the cache — stale findings can never survive an engine
+    upgrade.
+    """
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Manifest of per-file analysis results keyed by content hash."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.manifest_path = self.cache_dir / "cache.json"
+        self.fingerprint = engine_fingerprint()
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def load(self) -> None:
+        try:
+            raw = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) \
+                or raw.get("version") != _MANIFEST_VERSION \
+                or raw.get("engine") != self.fingerprint:
+            return
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, path: str, digest: str
+               ) -> tuple[ModuleFacts | None, list[Diagnostic]] | None:
+        """Cached (facts, per-file diagnostics) for an unchanged file."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != digest:
+            self.misses += 1
+            return None
+        try:
+            facts = (ModuleFacts.from_dict(entry["facts"])
+                     if entry.get("facts") is not None else None)
+            diagnostics = [Diagnostic.from_dict(d)
+                           for d in entry["diagnostics"]]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts, diagnostics
+
+    def store(self, path: str, digest: str, facts: ModuleFacts | None,
+              diagnostics: list[Diagnostic]) -> None:
+        self._entries[path] = {
+            "sha": digest,
+            "facts": facts.to_dict() if facts is not None else None,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files that no longer exist."""
+        self._entries = {path: entry
+                         for path, entry in self._entries.items()
+                         if path in live_paths}
+
+    def save(self) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {"version": _MANIFEST_VERSION, "engine": self.fingerprint,
+                   "files": self._entries}
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(self.manifest_path)

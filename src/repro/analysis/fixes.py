@@ -1,0 +1,219 @@
+"""Mechanical autofixes for the two rules with safe rewrites.
+
+``--fix`` repairs only what a textual rewrite provably cannot break:
+
+* ``time.sleep(x)`` as a bare statement inside an ``async def`` becomes
+  ``await asyncio.sleep(x)`` (adding ``import asyncio`` when missing) —
+  the RPL-A001 repair;
+* a string-literal or f-string key at a ``store.put``/
+  ``store.get_or_compute`` call becomes
+  ``store.versioned_key(part, ...)`` with the key split on ``/`` — the
+  RPL-C001/RPL-C003 repair.
+
+Everything else — chains, taint paths, unpicklable payloads — needs a
+human.  Edits are computed as exact source spans from the AST
+(``end_lineno``/``end_col_offset``), applied bottom-up so earlier spans
+stay valid, and skipped wholesale if any two spans overlap.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.module import ModuleInfo, dotted_name
+
+__all__ = ["apply_fixes", "FIXABLE_RULES"]
+
+FIXABLE_RULES = frozenset({"RPL-A001", "RPL-C001", "RPL-C003"})
+
+
+class _Edit:
+    __slots__ = ("start", "end", "replacement")
+
+    def __init__(self, start: int, end: int, replacement: str) -> None:
+        self.start = start
+        self.end = end
+        self.replacement = replacement
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _offset(source: str, starts: list[int], line: int, col: int) -> int:
+    # ast columns are utf-8 byte offsets; translate to str indices.
+    line_start = starts[line - 1]
+    line_text = source[line_start: starts[line] if line < len(starts)
+                       else len(source)]
+    prefix = line_text.encode("utf-8")[:col].decode("utf-8", "replace")
+    return line_start + len(prefix)
+
+
+def _span(source: str, starts: list[int], node: ast.AST) -> tuple[int, int]:
+    return (_offset(source, starts, node.lineno, node.col_offset),
+            _offset(source, starts, node.end_lineno, node.end_col_offset))
+
+
+def _segment_sources(key: ast.expr) -> list[str] | None:
+    """Render the ``versioned_key`` argument list for a key expression.
+
+    The key is split on ``/``: pure-literal segments become string
+    literals, a segment that is exactly one ``{expr}`` becomes that
+    expression's source, mixed segments become a smaller f-string.
+    Returns ``None`` when the key shape is not safely splittable.
+    """
+    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+        parts = [part for part in key.value.split("/") if part]
+        return [repr(part) for part in parts] or None
+    if not isinstance(key, ast.JoinedStr):
+        return None
+    segments: list[list[ast.expr]] = [[]]
+    for value in key.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            pieces = value.value.split("/")
+            for index, piece in enumerate(pieces):
+                if index > 0:
+                    segments.append([])
+                if piece:
+                    segments[-1].append(ast.Constant(value=piece))
+        else:
+            segments[-1].append(value)
+    rendered: list[str] = []
+    for segment in segments:
+        if not segment:
+            continue
+        if len(segment) == 1 and isinstance(segment[0], ast.Constant):
+            rendered.append(repr(segment[0].value))
+        elif (len(segment) == 1
+              and isinstance(segment[0], ast.FormattedValue)
+              and segment[0].conversion == -1
+              and segment[0].format_spec is None):
+            try:
+                rendered.append(ast.unparse(segment[0].value))
+            except Exception:
+                return None
+        else:
+            try:
+                rendered.append(ast.unparse(ast.JoinedStr(values=segment)))
+            except Exception:
+                return None
+    return rendered or None
+
+
+def _needs_asyncio_import(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import) and any(alias.name == "asyncio"
+                                                for alias in node.names):
+            return False
+    return True
+
+
+def _import_insertion_offset(module: ModuleInfo, source: str,
+                             starts: list[int]) -> int:
+    """Offset at which ``import asyncio\\n`` slots in cleanly."""
+    insert_after_line = 0
+    body = module.tree.body
+    index = 0
+    if body and isinstance(body[0], ast.Expr) \
+            and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        insert_after_line = body[0].end_lineno or body[0].lineno
+        index = 1
+    while index < len(body) and isinstance(body[index],
+                                           (ast.Import, ast.ImportFrom)):
+        insert_after_line = body[index].end_lineno or body[index].lineno
+        index += 1
+    if insert_after_line >= len(starts):
+        return len(source)
+    return starts[insert_after_line]
+
+
+def _sleep_fixes(module: ModuleInfo, source: str, starts: list[int],
+                 lines_with_findings: set[int]) -> list[_Edit]:
+    edits: list[_Edit] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)):
+            continue
+        call = node.value
+        if module.resolve(call.func) != "time.sleep":
+            continue
+        if call.lineno not in lines_with_findings:
+            continue
+        enclosing = module.enclosing_function(call)
+        if not isinstance(enclosing, ast.AsyncFunctionDef):
+            continue
+        start, end = _span(source, starts, node)
+        call_source = source[_span(source, starts, call)[0]:
+                             _span(source, starts, call)[1]]
+        open_paren = call_source.index("(")
+        args_source = call_source[open_paren:]
+        edits.append(_Edit(start, end,
+                           f"await asyncio.sleep{args_source}"))
+    return edits
+
+
+def _key_fixes(module: ModuleInfo, source: str, starts: list[int],
+               lines_with_findings: set[int]) -> list[_Edit]:
+    edits: list[_Edit] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("put", "get_or_compute")
+                and len(node.args) >= 2):
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None or "store" not in receiver.lower():
+            continue
+        key = node.args[0]
+        if key.lineno not in lines_with_findings:
+            continue
+        rendered = _segment_sources(key)
+        if rendered is None:
+            continue
+        start, end = _span(source, starts, key)
+        edits.append(_Edit(
+            start, end, f"{receiver}.versioned_key({', '.join(rendered)})"))
+    return edits
+
+
+def apply_fixes(source: str, path: str,
+                diagnostics: list[Diagnostic]) -> tuple[str, int]:
+    """Apply safe autofixes for ``diagnostics``; returns (source, count).
+
+    Only findings from :data:`FIXABLE_RULES` anchored in ``path`` are
+    considered; the source is returned unchanged when nothing (or
+    nothing safe) is fixable.
+    """
+    try:
+        module = ModuleInfo(source, path)
+    except SyntaxError:
+        return source, 0
+    starts = _line_starts(source)
+    sleep_lines = {d.line for d in diagnostics
+                   if d.path == module.path and d.rule == "RPL-A001"
+                   and "sleep" in d.message}
+    key_lines = {d.line for d in diagnostics
+                 if d.path == module.path
+                 and d.rule in ("RPL-C001", "RPL-C003")}
+    edits = _sleep_fixes(module, source, starts, sleep_lines)
+    edits.extend(_key_fixes(module, source, starts, key_lines))
+    if not edits:
+        return source, 0
+    if edits and any(e1 is not e2 and e1.start < e2.end and e2.start < e1.end
+                     for e1 in edits for e2 in edits):
+        return source, 0  # overlapping spans: refuse rather than corrupt
+    if any(e.replacement.startswith("await asyncio.sleep")
+           for e in edits) and _needs_asyncio_import(module):
+        at = _import_insertion_offset(module, source, starts)
+        edits.append(_Edit(at, at, "import asyncio\n"))
+    fixed = source
+    for edit in sorted(edits, key=lambda e: e.start, reverse=True):
+        fixed = fixed[:edit.start] + edit.replacement + fixed[edit.end:]
+    count = sum(1 for edit in edits if edit.replacement
+                != "import asyncio\n")
+    return fixed, count

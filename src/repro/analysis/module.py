@@ -86,6 +86,29 @@ class ModuleInfo:
     # -- imports ---------------------------------------------------------------
 
     @cached_property
+    def _alias_table(self) -> dict[str, str]:
+        """Simple name-binding aliases: ``sleep = time.sleep``.
+
+        A bare assignment of a dotted chain to a single name re-binds a
+        callable under a new name, which used to escape every
+        import-table-based rule (``s = time.sleep; s(1)`` resolved to
+        just ``"s"``).  The table maps the bound name to the dotted
+        chain it stands for; :meth:`resolve` expands through it after
+        the import table.  Heuristic by design: the *last* such
+        assignment in the file wins, and parameters that shadow an
+        aliased name are not tracked.
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                dotted = dotted_name(node.value)
+                if dotted is not None and dotted != node.targets[0].id:
+                    aliases[node.targets[0].id] = dotted
+        return aliases
+
+    @cached_property
     def _import_table(self) -> dict[str, str]:
         """Local name → canonical dotted prefix it stands for."""
         table: dict[str, str] = {}
@@ -115,11 +138,27 @@ class ModuleInfo:
         dotted = dotted_name(node)
         if dotted is None:
             return None
+        return self.resolve_dotted(dotted)
+
+    def resolve_dotted(self, dotted: str) -> str:
+        """Expand ``dotted`` through the alias and import tables.
+
+        Aliases may chain (``r = np.random`` → ``np.random`` → ...); the
+        import table applies at most once at the end — re-applying it
+        would inflate self-referential imports like ``from datetime
+        import datetime`` without bound.
+        """
+        for _ in range(8):  # bounded: alias chains could cycle
+            head, _, rest = dotted.partition(".")
+            expansion = self._alias_table.get(head)
+            if expansion is None or expansion.split(".", 1)[0] == head:
+                break
+            dotted = f"{expansion}.{rest}" if rest else expansion
         head, _, rest = dotted.partition(".")
         expansion = self._import_table.get(head)
-        if expansion is None:
-            return dotted
-        return f"{expansion}.{rest}" if rest else expansion
+        if expansion is not None:
+            return f"{expansion}.{rest}" if rest else expansion
+        return dotted
 
     # -- suppressions ----------------------------------------------------------
 

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 serialisation of reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file produced here annotates the exact
+offending lines of a pull-request diff with the rule text.  Only the
+small subset of the schema that code scanning reads is emitted —
+driver metadata, the rule catalogue, and one ``result`` per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic],
+             rules: Iterable[tuple[str, str, str]]) -> dict:
+    """Build the SARIF document as a plain dict.
+
+    ``rules`` is an iterable of ``(id, name, summary)`` describing the
+    full catalogue (reported even when clean, so code scanning can
+    close fixed alerts).
+    """
+    rule_objects = [
+        {
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": summary.split(";")[0]},
+            "fullDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, name, summary in rules
+    ]
+    index = {rule["id"]: i for i, rule in enumerate(rule_objects)}
+    results = []
+    for diagnostic in diagnostics:
+        result = {
+            "ruleId": diagnostic.rule,
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": diagnostic.line,
+                        "startColumn": diagnostic.col,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reprolint/v1": diagnostic.fingerprint(),
+            },
+        }
+        if diagnostic.rule in index:
+            result["ruleIndex"] = index[diagnostic.rule]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://example.invalid/docs/reprolint.md",
+                    "version": "2.0.0",
+                    "rules": rule_objects,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic],
+                 rules: Iterable[tuple[str, str, str]]) -> str:
+    return json.dumps(to_sarif(diagnostics, rules), indent=2,
+                      sort_keys=True)

@@ -539,11 +539,48 @@ class TestAsyncBlockingCall:
             "    subprocess.run(['true'])\n"
         ) == ["RPL-A001"]
 
+    def test_name_binding_alias_flagged(self):
+        # ``snooze = time.sleep`` re-binds the callable; the alias table
+        # must resolve the call back to ``time.sleep``.
+        assert ids(
+            "import time\n"
+            "snooze = time.sleep\n"
+            "async def handler():\n"
+            "    snooze(0.1)\n"
+        ) == ["RPL-A001"]
+
+    def test_chained_alias_of_from_import_flagged(self):
+        assert ids(
+            "from time import sleep\n"
+            "zzz = sleep\n"
+            "async def handler():\n"
+            "    zzz(0.1)\n"
+        ) == ["RPL-A001"]
+
     def test_asyncio_sleep_ok(self):
         assert ids(
             "import asyncio\n"
             "async def handler():\n"
             "    await asyncio.sleep(1.0)\n"
+        ) == []
+
+    def test_to_thread_reference_ok(self):
+        # ``asyncio.to_thread(time.sleep, ...)`` passes the callable as a
+        # *reference*; it runs on a worker thread, not the event loop.
+        assert ids(
+            "import asyncio\n"
+            "import time\n"
+            "async def handler():\n"
+            "    await asyncio.to_thread(time.sleep, 1.0)\n"
+        ) == []
+
+    def test_run_in_executor_reference_ok(self):
+        assert ids(
+            "import asyncio\n"
+            "import time\n"
+            "async def handler():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, time.sleep, 1.0)\n"
         ) == []
 
     def test_sync_function_ok(self):
