@@ -7,10 +7,21 @@ suite's phase feature vectors to replay as requests (each paired with
 the *offline* quantized prediction, the drill's bit-identity
 reference).  Building it once here keeps the two scripts honest about
 comparing against the same artefacts.
+
+This module also hosts the **closed-loop soak client**
+(:func:`soak_client_entry`): a duration-based load generator that the
+soak bench fans out over separate *processes* (so the client never
+serialises a multi-shard fleet behind one client GIL).  It lives here —
+an importable module, not the ``__main__`` script — because
+``multiprocessing``'s spawn start method resolves process targets by
+module name.
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -19,7 +30,7 @@ import numpy as np
 from repro.config import MicroarchConfig
 from repro.experiments import DataStore, ExperimentPipeline, ReproScale
 from repro.model import QuantizedPredictor, save_weight_store
-from repro.serving import PredictionServer, build_service
+from repro.serving import PredictionServer, PredictResponse, build_service
 
 #: CI-sized suite: two benchmarks, two phases each, short traces.  The
 #: serving layer's cost is per-request, not per-trace, so replaying a
@@ -83,3 +94,108 @@ def build_fixture(root: Path, scale: ReproScale | None = None
         baseline=pipeline.baseline_config,
         replay=replay,
     )
+
+
+# ---------------------------------------------------------------------------
+# The closed-loop soak client (run in separate processes)
+# ---------------------------------------------------------------------------
+
+#: status codes in the compact event tuples the soak client returns
+#: (full response objects would be megabytes of pickle per minute).
+SOAK_OK = 0
+SOAK_SHED = 1
+SOAK_ERROR = 2
+
+_STATUS_CODES = {"ok": SOAK_OK, "shed": SOAK_SHED, "error": SOAK_ERROR}
+
+
+async def _soak_connection(port: int, payloads: list[dict], lane: int,
+                           start_delay_s: float, stop_at: float,
+                           window: int, deadline_ms: float,
+                           events: list[tuple]) -> int:
+    """One closed-loop connection: keep ``window`` requests in flight
+    until ``stop_at``, then drain.  Returns the unanswered count."""
+    await asyncio.sleep(start_delay_s)
+    if time.perf_counter() >= stop_at:
+        return 0
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    sent_at: dict[str, float] = {}
+    pending = 0
+
+    async def read_one() -> bool:
+        nonlocal pending
+        line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+        if not line:
+            return False
+        response = PredictResponse.decode(line)
+        done = time.perf_counter()
+        latency_ms = (done - sent_at.pop(str(response.id))) * 1e3
+        events.append((done, latency_ms,
+                       _STATUS_CODES.get(response.status, SOAK_ERROR),
+                       response.tier or ""))
+        pending -= 1
+        return True
+
+    n = 0
+    try:
+        while time.perf_counter() < stop_at:
+            item = payloads[n % len(payloads)]
+            request_id = f"{lane}/{n}"
+            n += 1
+            sent_at[request_id] = time.perf_counter()
+            writer.write(json.dumps({
+                "id": request_id, "features": item["features"],
+                "deadline_ms": deadline_ms, "program": item["program"],
+            }).encode() + b"\n")
+            await writer.drain()
+            pending += 1
+            if pending >= window:
+                if not await read_one():
+                    return pending
+        while pending > 0:
+            if not await read_one():
+                return pending
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return 0
+
+
+async def _soak_client_main(port: int, payloads: list[dict],
+                            conn_specs: list[tuple[int, float]],
+                            duration_s: float, window: int,
+                            deadline_ms: float) -> dict:
+    import gc
+
+    events: list[tuple] = []
+    gc_before = sum(generation["collections"] for generation in gc.get_stats())
+    t0 = time.perf_counter()
+    stop_at = t0 + duration_s
+    unanswered = await asyncio.gather(*(
+        _soak_connection(port, payloads, lane, delay, stop_at, window,
+                         deadline_ms, events)
+        for lane, delay in conn_specs))
+    gc_after = sum(generation["collections"] for generation in gc.get_stats())
+    return {
+        "t0": t0,
+        "events": [(done - t0, latency, status, tier)
+                   for done, latency, status, tier in events],
+        "unanswered": sum(unanswered),
+        "gc_collections": gc_after - gc_before,
+    }
+
+
+def soak_client_entry(port: int, payloads: list[dict],
+                      conn_specs: list[tuple[int, float]],
+                      duration_s: float, window: int, deadline_ms: float,
+                      pipe) -> None:
+    """``multiprocessing.Process`` target: run one client process's
+    share of the closed-loop load, ship compact events back over
+    ``pipe``."""
+    result = asyncio.run(_soak_client_main(
+        port, payloads, conn_specs, duration_s, window, deadline_ms))
+    pipe.send(result)
+    pipe.close()

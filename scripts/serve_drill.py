@@ -7,6 +7,15 @@ crash, an engine hang, injected slow batches, malformed and oversized
 frames, a connection dropped mid-request, and finally a SIGTERM drain —
 all injected deterministically through ``repro.testing.faults``.
 
+After the single-process storm it re-runs the stack as a **multi-process
+shard fleet** (:class:`~repro.serving.frontend.ShardSupervisor`, two
+shards on one port) and drills the failure modes only a fleet has: a
+shard SIGKILLed mid-storm (the supervisor must restart it while the
+other shard keeps answering), and a hot weight reload under steady load
+(every shard warm-swaps to the republished store with zero dropped or
+late in-flight requests, bit-identical to the offline quantized
+pipeline before and after the swap).
+
 Gates (exit non-zero on any failure):
 
 * **availability** — every request that was not deliberately dropped
@@ -39,13 +48,21 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import numpy as np  # noqa: E402
+
 from _serve_common import ServingFixture, build_fixture  # noqa: E402
 
 from repro import obs  # noqa: E402
+from repro.config import MicroarchConfig  # noqa: E402
+from repro.model import ConfigurationPredictor, save_weight_store  # noqa: E402
+from repro.model.serialize import load_weight_store  # noqa: E402
 from repro.serving import MAX_FRAME_BYTES, PredictResponse  # noqa: E402
+from repro.serving.frontend import ShardSupervisor  # noqa: E402
 
 DEADLINE_MS = 5000.0
 ENGINE_BUDGET_S = 0.2
+FLEET_SHARDS = 2
+STORM_WINDOW = 16
 
 failures: list[str] = []
 
@@ -152,6 +169,231 @@ def expected_by_id(fixture: ServingFixture, responses) -> int:
                 == offline[(program, int(phase_id))]):
             matches += 1
     return matches
+
+
+def offline_quantized(fixture: ServingFixture
+                      ) -> dict[tuple[str, int], MicroarchConfig]:
+    """The offline quantized answers for the store as it is *now* on
+    disk (the fixture's cached answers go stale after a hot reload)."""
+    matrix = np.stack([item.features for item in fixture.replay])
+    answers = load_weight_store(
+        fixture.store_path).quantized().predict_batch(matrix)
+    return {(item.program, item.phase_id): config
+            for item, config in zip(fixture.replay, answers)}
+
+
+def matches_offline(offline: dict[tuple[str, int], MicroarchConfig],
+                    responses) -> int:
+    """Count ok responses bit-identical to the given offline answers."""
+    matches = 0
+    for request_id, response in responses.items():
+        _, _, program, phase_id, _ = request_id.split("/")
+        if (response is not None and response.status == "ok"
+                and response.microarch_config()
+                == offline[(program, int(phase_id))]):
+            matches += 1
+    return matches
+
+
+async def fleet_storm(port: int, fixture: ServingFixture, tag: str,
+                      lanes: int, repeats: int) -> list[dict]:
+    """A sustained pipelined storm; per-lane results so a lane whose
+    shard was killed (reset connection) is distinguishable from the
+    survivors."""
+
+    async def one_lane(lane: int) -> dict:
+        got: dict[str, PredictResponse | None] = {}
+        ids: list[str] = []
+        dropped = False
+        pending: list[str] = []
+        try:
+            async with Client(port) as client:
+                for repeat in range(repeats):
+                    for n, item in enumerate(fixture.replay):
+                        request_id = (f"{tag}/{lane}/{item.program}/"
+                                      f"{item.phase_id}/"
+                                      f"{repeat * len(fixture.replay) + n}")
+                        ids.append(request_id)
+                        await client.request(request_id, item.features,
+                                             item.program)
+                        pending.append(request_id)
+                        if len(pending) >= STORM_WINDOW:
+                            response = await client.read_response(
+                                timeout=10.0)
+                            if response is None:
+                                dropped = True
+                                return {"responses": got, "dropped": True,
+                                        "sent": len(ids)}
+                            got[str(response.id)] = response
+                            pending.pop(0)
+                while pending:
+                    response = await client.read_response(timeout=10.0)
+                    if response is None:
+                        dropped = True
+                        break
+                    got[str(response.id)] = response
+                    pending.pop(0)
+        except (ConnectionError, OSError):
+            dropped = True
+        return {"responses": got, "dropped": dropped, "sent": len(ids)}
+
+    return list(await asyncio.gather(*(one_lane(lane)
+                                       for lane in range(lanes))))
+
+
+async def fleet_drill(fixture: ServingFixture) -> None:
+    """Phases 10-12: shard kill mid-storm, hot reload under load."""
+    supervisor = ShardSupervisor(
+        str(fixture.store_path), shards=FLEET_SHARDS,
+        static_table=fixture.static_table, baseline=fixture.baseline,
+        engine_budget_s=0.5, max_age_s=0.005, queue_limit=256,
+        ready_timeout_s=120.0)
+    await asyncio.to_thread(supervisor.start)
+    port = supervisor.port
+    codes: dict[int, int | None] = {}
+    try:
+        offline_before = offline_quantized(fixture)
+
+        # -- phase 10: fleet clean serving -------------------------------------
+        burst = await replay_burst(port, fixture, "fclean", repeats=3)
+        total = len(fixture.replay) * 3
+        check(len(burst) == total
+              and all(r is not None for r in burst.values()),
+              f"fleet: all {total} requests answered across "
+              f"{FLEET_SHARDS} shards ({supervisor.stats()['mode']})")
+        check(matches_offline(offline_before, burst) == total,
+              "fleet: every shard bit-identical to the offline "
+              "quantized path")
+
+        # -- phase 11: shard SIGKILLed mid-storm -------------------------------
+        victim = supervisor.pids[0]
+
+        async def kill_and_reap() -> list[int]:
+            await asyncio.sleep(0.2)  # land the kill mid-storm
+            os.kill(victim, signal.SIGKILL)
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while asyncio.get_running_loop().time() < deadline:
+                restarted = await asyncio.to_thread(
+                    supervisor.reap_and_restart)
+                if restarted:
+                    return restarted
+                await asyncio.sleep(0.05)
+            return []
+
+        storm, restarted = await asyncio.gather(
+            fleet_storm(port, fixture, "fkill", lanes=6, repeats=40),
+            kill_and_reap())
+        check(restarted == [0],
+              "kill: supervisor reaped and restarted the dead shard")
+        check(victim not in supervisor.pids
+              and supervisor.stats()["restarts"][0] == 1,
+              "kill: replacement shard runs under a new pid")
+        survivors = [lane for lane in storm if not lane["dropped"]]
+        check(len(survivors) >= 1,
+              f"kill: {len(survivors)}/{len(storm)} lanes unaffected by "
+              f"the dead shard")
+        answered: dict[str, PredictResponse] = {}
+        for lane in storm:
+            answered.update({rid: r for rid, r
+                             in lane["responses"].items() if r is not None})
+        check(all(r.status in ("ok", "shed") for r in answered.values()),
+              "kill: every answered frame is ok or an explicit shed")
+        ok_answers = {rid: r for rid, r in answered.items()
+                      if r.status == "ok"}
+        check(len(ok_answers) > 0
+              and matches_offline(offline_before, ok_answers)
+              == len(ok_answers),
+              "kill: every ok answer during the storm stayed "
+              "bit-identical")
+        after_kill = await replay_burst(port, fixture, "fpostkill",
+                                        repeats=2)
+        check(len(after_kill) == len(fixture.replay) * 2
+              and matches_offline(offline_before, after_kill)
+              == len(after_kill),
+              "kill: full fleet service restored after the restart")
+
+        # -- phase 12: hot weight reload under load ----------------------------
+        stop = asyncio.Event()
+        inflight: list[tuple[str, PredictResponse | None, float]] = []
+
+        async def steady_load(lane: int) -> None:
+            loop = asyncio.get_running_loop()
+            async with Client(port) as client:
+                n = 0
+                while not stop.is_set():
+                    item = fixture.replay[n % len(fixture.replay)]
+                    request_id = (f"fhot/{lane}/{item.program}/"
+                                  f"{item.phase_id}/{n}")
+                    t0 = loop.time()
+                    await client.request(request_id, item.features,
+                                         item.program)
+                    response = await client.read_response(timeout=10.0)
+                    inflight.append((request_id, response,
+                                     loop.time() - t0))
+                    if response is None:
+                        return
+                    n += 1
+
+        loaders = [asyncio.create_task(steady_load(lane))
+                   for lane in range(3)]
+        await asyncio.sleep(0.2)  # load established before the republish
+
+        rng = np.random.default_rng(20260807)
+        shapes = {name: matrix.shape for name, matrix
+                  in load_weight_store(
+                      fixture.store_path).float_weights.items()}
+        new_predictor = ConfigurationPredictor.from_weights(
+            {name: rng.normal(size=shape)
+             for name, shape in shapes.items()})
+        await asyncio.to_thread(save_weight_store, new_predictor,
+                                fixture.store_path)
+        offline_after = offline_quantized(fixture)
+        check(offline_after != offline_before,
+              "reload: republished store changes the offline answers")
+        check(await asyncio.to_thread(supervisor.poll_store),
+              "reload: supervisor saw the manifest digest move")
+
+        swapped = False
+        deadline = asyncio.get_running_loop().time() + 30.0
+        while asyncio.get_running_loop().time() < deadline:
+            probe = await replay_burst(port, fixture, "fswap", repeats=4)
+            if (all(r is not None for r in probe.values())
+                    and matches_offline(offline_after, probe)
+                    == len(probe)):
+                swapped = True
+                break
+            await asyncio.sleep(0.1)
+        check(swapped,
+              "reload: every shard warm-swapped, answers bit-identical "
+              "to the new offline pipeline")
+        stop.set()
+        await asyncio.gather(*loaders)
+        check(all(r is not None for _, r, _ in inflight),
+              f"reload: zero dropped in-flight requests across the swap "
+              f"({len(inflight)} under load)")
+        check(all(r.status == "ok" for _, r, _ in inflight
+                  if r is not None),
+              "reload: every in-flight request answered ok during the "
+              "swap")
+        check(all(latency * 1e3 <= DEADLINE_MS for _, r, latency
+                  in inflight if r is not None),
+              "reload: zero late in-flight responses across the swap")
+
+        def old_or_new(request_id: str, response: PredictResponse) -> bool:
+            _, _, program, phase_id, _ = request_id.split("/")
+            key = (program, int(phase_id))
+            return response.microarch_config() in (offline_before[key],
+                                                   offline_after[key])
+
+        check(all(old_or_new(rid, r) for rid, r, _ in inflight
+                  if r is not None),
+              "reload: every mid-swap answer matches the offline "
+              "pipeline, old weights or new")
+    finally:
+        codes = await asyncio.to_thread(supervisor.terminate)
+    check(all(code == 0 for code in codes.values())
+          and len(codes) == FLEET_SHARDS,
+          f"fleet: every shard drained and exited 0 (codes={codes})")
 
 
 async def drill(fixture: ServingFixture, fault_dir: Path) -> None:
@@ -296,6 +538,10 @@ def main() -> int:
               f"{len(fixture.replay[0].features)}", flush=True)
         asyncio.run(drill(fixture, root / "fault-slots"))
         os.environ.pop("REPRO_FAULTS", None)
+        os.environ.pop("REPRO_FAULTS_DIR", None)
+        print(f"[serve-drill] fleet drill: {FLEET_SHARDS} shards on one "
+              f"port", flush=True)
+        asyncio.run(fleet_drill(fixture))
 
         if obs.enabled():
             paths = obs.export_all()

@@ -105,11 +105,22 @@ class ConfigurationPredictor:
         weights: Mapping[str, np.ndarray],
         parameters: tuple[Parameter, ...] = TABLE1_PARAMETERS,
         regularization: float = 0.5,
+        *,
+        copy: bool = True,
     ) -> "ConfigurationPredictor":
         """Rebuild a trained predictor from per-parameter weight matrices.
 
         Used to rehydrate cached cross-validation folds and predictors
         loaded from disk without re-running any training.
+
+        Args:
+            copy: copy the matrices (default) so the predictor owns its
+                weights.  ``copy=False`` keeps them as views over the
+                caller's arrays — the serving shards use this over a
+                read-only memory-mapped weight store so N processes
+                share one set of physical weight pages.  Such a
+                predictor is inference-only: retraining it would write
+                through to the shared arrays.
 
         Raises:
             ValueError: if a parameter's weights are missing or have the
@@ -128,7 +139,7 @@ class ConfigurationPredictor:
                 n_classes=parameter.cardinality,
                 regularization=regularization,
             )
-            classifier.weights = matrix.copy()
+            classifier.weights = matrix.copy() if copy else matrix
             predictor.classifiers[parameter.name] = classifier
         return predictor
 

@@ -13,19 +13,30 @@ the **weight store** (:func:`save_weight_store` /
 plus a JSON manifest with SHA-256 checksums.  Plain ``.npy`` files can
 be loaded memory-mapped (``np.load(..., mmap_mode="r")``), so a
 restarting engine worker re-arms from page cache instead of re-reading
-and decompressing an archive; the checksums turn silent corruption or
-truncation into a *classified* failure
-(:class:`~repro.experiments.errors.CorruptInputError`) that the serving
-supervisor knows how to degrade around, rather than an arbitrary
-crash deep inside the numpy loader.  The store carries both the float64
-weights and the int8-quantised form, so every rung of the serving
-degradation ladder warms from one artifact.
+and decompressing an archive — and N serving shards loading the same
+store read-only share one set of physical pages instead of keeping N
+copies (the rebuilt predictors are zero-copy views over the maps).  The
+checksums turn silent corruption or truncation into a *classified*
+failure (:class:`~repro.experiments.errors.CorruptInputError`) that the
+serving supervisor knows how to degrade around, rather than an
+arbitrary crash deep inside the numpy loader.  The store carries both
+the float64 weights and the int8-quantised form, so every rung of the
+serving degradation ladder warms from one artifact.
+
+Saves are **atomic per file**: every array and the manifest are written
+to a temporary name and ``os.replace``-d into place.  A shard that has
+the previous store mmap-ed keeps reading its (old) inode safely while a
+new store is published over it — re-saving in place is the hot-reload
+protocol, not a hazard.  :func:`manifest_digest` is the cheap change
+detector the serving supervisor polls.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
@@ -44,6 +55,7 @@ __all__ = [
     "save_predictor",
     "load_predictor",
     "WeightStore",
+    "manifest_digest",
     "save_weight_store",
     "load_weight_store",
 ]
@@ -126,8 +138,10 @@ class WeightStore:
 
     ``float_weights`` / ``int8_weights`` values may be read-only
     ``np.memmap`` views when loaded with ``mmap=True`` — callers must
-    treat them as immutable (the rebuilt predictors copy what they
-    need).
+    treat them as immutable.  The rebuilt predictors are **zero-copy**
+    views over those maps: N serving shards holding the same store pay
+    for one set of physical weight pages, not N (the page-sharing
+    regression test in ``tests/test_model_serialize.py`` pins this).
     """
 
     directory: Path
@@ -136,13 +150,16 @@ class WeightStore:
     float_weights: Mapping[str, np.ndarray]
     int8_weights: Mapping[str, np.ndarray]
     scales: Mapping[str, float]
+    manifest_sha: str = ""
 
     def predictor(self) -> ConfigurationPredictor:
-        """The float64 predictor (ladder tier ``float``)."""
+        """The float64 predictor (ladder tier ``float``), sharing the
+        store's (possibly memory-mapped) weight arrays without copying."""
         return ConfigurationPredictor.from_weights(
             self.float_weights,
             parameters=self.parameters,
             regularization=self.regularization,
+            copy=False,
         )
 
     def quantized(self) -> QuantizedPredictor:
@@ -150,6 +167,26 @@ class WeightStore:
         default) — rebuilt from the stored matrices, not re-quantised."""
         return QuantizedPredictor.from_state(
             self.int8_weights, self.scales, parameters=self.parameters)
+
+    @property
+    def nbytes(self) -> int:
+        """Total weight bytes (both precisions) — the per-engine working
+        set the mmap path shares across shards."""
+        return sum(int(array.nbytes)
+                   for mapping in (self.float_weights, self.int8_weights)
+                   for array in mapping.values())
+
+
+def _publish_bytes(path: Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (write-temp + rename).
+
+    A reader that has the *old* file memory-mapped keeps reading its
+    inode untouched; a plain in-place rewrite would truncate under the
+    map and turn the next page fault into a SIGBUS mid-inference.
+    """
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
 
 
 def save_weight_store(predictor: ConfigurationPredictor,
@@ -161,6 +198,13 @@ def save_weight_store(predictor: ConfigurationPredictor,
     manifest records shapes, dtypes and SHA-256 checksums so
     :func:`load_weight_store` can classify damage before inference
     ever touches the bytes.
+
+    Every file lands via atomic rename, arrays first and the manifest
+    last, so re-saving over a *live* store is the supported hot-reload
+    protocol: serving shards that still hold the previous arrays
+    memory-mapped keep reading the old inodes, and a watcher that sees
+    the new manifest digest sees it only after every array it describes
+    is already in place.
 
     Raises:
         ValueError: if the predictor is untrained.
@@ -187,19 +231,42 @@ def save_weight_store(predictor: ConfigurationPredictor,
     for kind, matrices in sorted(arrays.items()):
         for name, matrix in sorted(matrices.items()):
             filename = f"{kind}_{name}.npy"
-            np.save(directory / filename, matrix)
+            buffer = io.BytesIO()
+            np.save(buffer, matrix)
+            data = buffer.getvalue()
+            _publish_bytes(directory / filename, data)
             entries[filename] = {
                 "kind": kind,
                 "parameter": name,
                 "shape": list(matrix.shape),
                 "dtype": str(matrix.dtype),
-                "sha256": _sha256(directory / filename),
+                "sha256": hashlib.sha256(data).hexdigest(),
             }
     manifest["arrays"] = entries
-    manifest_path = directory / _MANIFEST
-    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
-                             + "\n", encoding="utf-8")
+    _publish_bytes(
+        directory / _MANIFEST,
+        (json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        .encode("utf-8"))
     return directory
+
+
+def manifest_digest(directory: str | Path) -> str:
+    """SHA-256 of the store manifest's bytes — the supervisor's cheap
+    hot-reload change detector (the manifest itself embeds per-array
+    checksums, so any array change moves this digest too).
+
+    Raises:
+        CorruptInputError: missing or unreadable manifest — classified
+            so a reload poll over a damaged store degrades cleanly
+            instead of crashing the watcher.
+    """
+    path = Path(directory) / _MANIFEST
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError as error:
+        raise _corrupt(
+            f"weight store manifest unreadable during poll: {error}"
+        ) from error
 
 
 def _load_array(path: Path, entry: Mapping[str, object], *,
@@ -251,7 +318,8 @@ def load_weight_store(directory: str | Path, *, mmap: bool = True,
     if not manifest_path.exists():
         raise _corrupt(f"weight store has no {_MANIFEST}: {directory}")
     try:
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest_bytes = manifest_path.read_bytes()
+        manifest = json.loads(manifest_bytes.decode("utf-8"))
     except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
         raise _corrupt(f"unreadable weight store manifest: {error}") from error
     if not isinstance(manifest, dict) or "version" not in manifest:
@@ -296,4 +364,5 @@ def load_weight_store(directory: str | Path, *, mmap: bool = True,
         float_weights=float_weights,
         int8_weights=int8_weights,
         scales=scales,
+        manifest_sha=hashlib.sha256(manifest_bytes).hexdigest(),
     )

@@ -98,6 +98,11 @@ class ObsState:
         # shard records carry it so metric snapshots never merge across
         # distinct process lifetimes.
         self.instance = round(self.clock() * 1e6)
+        # Serving shard id (REPRO_SHARD_ID, stamped by shard_main before
+        # any hook fires): lets the exporter break serve.* counters out
+        # per shard as well as merging the fleet total.
+        label = os.environ.get("REPRO_SHARD_ID", "").strip()
+        self.shard: int | None = int(label) if label.isdigit() else None
 
     # -- span bookkeeping --------------------------------------------------
 
@@ -147,6 +152,8 @@ class ObsState:
         pid = os.getpid()
         record.setdefault("pid", pid)
         record.setdefault("inst", self.instance)
+        if self.shard is not None:
+            record.setdefault("shard", self.shard)
         append_record(shard_path(self.directory, pid), record)
 
     def flush_metrics(self) -> None:

@@ -134,6 +134,20 @@ def metrics_snapshot(records: list[dict[str, object]]) -> dict[str, object]:
         stats["total_s"] += duration
         stats["max_s"] = max(stats["max_s"], duration)
 
+    # Per-shard serving breakdown: metrics records written by serving
+    # shard processes carry a "shard" label (REPRO_SHARD_ID).  Summing
+    # across (pid, inst) lifetimes of one shard id folds pre- and
+    # post-restart counts together — the per-slot total.
+    serving_shards: dict[str, dict[str, float]] = {}
+    for record in _latest_metrics(records):
+        shard = record.get("shard")
+        if shard is None:
+            continue
+        bucket = serving_shards.setdefault(str(shard), {})
+        for name, value in sorted(dict(record.get("counters") or {}).items()):  # type: ignore[call-overload]
+            if name.startswith("serve."):
+                bucket[name] = bucket.get(name, 0.0) + float(value)
+
     hits = counters.get("datastore.hit", 0.0)
     misses = counters.get("datastore.miss", 0.0)
     derived: dict[str, float] = {}
@@ -143,7 +157,7 @@ def metrics_snapshot(records: list[dict[str, object]]) -> dict[str, object]:
     if screened > 0:
         derived["dse.exact_fraction"] = (
             counters.get("dse.exact_evals", 0.0) / screened)
-    return {
+    snapshot: dict[str, object] = {
         "processes": len(pids),
         "counters": {name: counters[name] for name in sorted(counters)},
         "gauges": {name: gauges[name] for name in sorted(gauges)},
@@ -152,6 +166,29 @@ def metrics_snapshot(records: list[dict[str, object]]) -> dict[str, object]:
         "spans": {name: span_stats[name] for name in sorted(span_stats)},
         "derived": derived,
     }
+    if serving_shards:
+        snapshot["serving_shards"] = {
+            shard: {name: bucket[name] for name in sorted(bucket)}
+            for shard, bucket in sorted(serving_shards.items())}
+    return snapshot
+
+
+def _tier_mix_lines(serving: dict[str, float], indent: str,
+                    label: str) -> list[str]:
+    """A one-line tier-mix rendering of ``serve.tier.*`` counters."""
+    tiers = {name.removeprefix("serve.tier."): value
+             for name, value in serving.items()
+             if name.startswith("serve.tier.")}
+    if not tiers:
+        return []
+    total = sum(tiers.values())
+    if total <= 0:
+        return []
+    mix = ", ".join(
+        f"{tier} {value / total:.1%}"
+        for tier, value in sorted(tiers.items(), key=lambda item: -item[1]))
+    pad = max(1, 22 - len(label) - len(indent) + 4)
+    return [f"{indent}{label}{' ' * pad}{mix}"]
 
 
 def render_summary(records: list[dict[str, object]],
@@ -214,16 +251,24 @@ def render_summary(records: list[dict[str, object]],
             ("tier fallbacks", "serve.tier_fallback"),
         ):
             lines.append(f"    {label:<21} {serving.get(key, 0.0):.0f}")
-        tiers = {name.removeprefix("serve.tier."): value
-                 for name, value in serving.items()
-                 if name.startswith("serve.tier.")}
-        if tiers:
-            total = sum(tiers.values())
-            mix = ", ".join(
-                f"{tier} {value / total:.1%}"
-                for tier, value in sorted(tiers.items(),
-                                          key=lambda item: -item[1]))
-            lines.append(f"    tier mix              {mix}")
+        lines.extend(_tier_mix_lines(serving, indent="    ",
+                                     label="tier mix"))
+        shards = snap.get("serving_shards")
+        if isinstance(shards, dict) and shards:
+            lines.append("    per shard:")
+            for shard_id, bucket in sorted(
+                    shards.items(), key=lambda item: item[0]):
+                assert isinstance(bucket, dict)
+                lines.append(
+                    f"      shard {shard_id}: "
+                    f"{bucket.get('serve.request', 0.0):.0f} requests, "
+                    f"{bucket.get('serve.ok', 0.0):.0f} ok, "
+                    f"{bucket.get('serve.engine_restart', 0.0):.0f} "
+                    f"engine restarts, "
+                    f"{bucket.get('serve.weight_reload', 0.0):.0f} "
+                    f"weight reloads")
+                lines.extend(_tier_mix_lines(bucket, indent="        ",
+                                             label="tier mix"))
     spans = snap["spans"]
     assert isinstance(spans, dict)
     if spans:

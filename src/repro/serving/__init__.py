@@ -17,6 +17,7 @@ the latency/throughput benchmark.
 
 from __future__ import annotations
 
+import socket
 import time
 from pathlib import Path
 from typing import Callable, Mapping
@@ -76,11 +77,16 @@ def build_service(
     host: str = "127.0.0.1",
     port: int = 0,
     clock: Callable[[], float] = time.monotonic,
+    sock: socket.socket | None = None,
+    reuse_port: bool = False,
+    shard_id: int | None = None,
 ) -> PredictionServer:
     """Wire the full serving stack from a weight-store directory.
 
     The ladder is quantized → float → (static, when a table is given)
     → baseline; both model rungs warm-reload from ``store_path``.
+    ``sock``/``reuse_port``/``shard_id`` are the multi-process shard
+    hooks (see :mod:`repro.serving.frontend`).
     """
     breaker = CircuitBreaker(
         failure_threshold=failure_threshold,
@@ -109,4 +115,5 @@ def build_service(
         clock=clock,
     )
     return PredictionServer(ladder, policy=policy, host=host, port=port,
-                            queue_limit=queue_limit)
+                            queue_limit=queue_limit, sock=sock,
+                            reuse_port=reuse_port, shard_id=shard_id)

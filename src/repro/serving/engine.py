@@ -37,7 +37,7 @@ import numpy as np
 
 from repro import obs
 from repro.config.configuration import MicroarchConfig
-from repro.model.serialize import load_weight_store
+from repro.model.serialize import WeightStore, load_weight_store
 from repro.testing import faults
 
 __all__ = [
@@ -70,19 +70,50 @@ class SupervisedModelEngine:
         loader: rebuilds the model from persistent state (e.g. a
             memory-mapped weight store); called lazily on first use and
             again after every crash.
+        store_builder: builds this tier's model from an
+            already-validated :class:`WeightStore` — the hot-reload
+            path (:meth:`swap_model` via
+            ``DegradationLadder.swap_from_store``).  Engines without
+            one keep their crash-restart path but sit out hot reloads.
     """
 
-    def __init__(self, tier: str, loader: Callable[[], ModelLike]) -> None:
+    def __init__(self, tier: str, loader: Callable[[], ModelLike],
+                 store_builder: Callable[[WeightStore], ModelLike] | None
+                 = None) -> None:
         self.tier = tier
         self._loader = loader
+        self._store_builder = store_builder
         self._model: ModelLike | None = None
         self._crashed = False
         self.restarts = 0
+        self.reloads = 0
         self.batches = 0
 
     @property
     def loaded(self) -> bool:
         return self._model is not None
+
+    def build_model(self, store: WeightStore) -> ModelLike | None:
+        """This tier's model over ``store``, or ``None`` when the
+        engine has no store builder (hot reload skips it)."""
+        if self._store_builder is None:
+            return None
+        return self._store_builder(store)
+
+    def swap_model(self, model: ModelLike) -> None:
+        """Warm-swap to an already-built model (the hot-reload path).
+
+        Plain attribute assignment: a batch already inside
+        :meth:`predict_batch` holds its own reference to the old model
+        and finishes on it untouched; the *next* batch answers from the
+        new weights.  That is the whole drain-the-batch/swap/resume
+        protocol — the micro-batch loop is the drain boundary.
+        """
+        self._model = model
+        self._crashed = False
+        self.reloads += 1
+        obs.inc("serve.engine_reload")
+        obs.inc(f"serve.engine_reload.{self.tier}")
 
     def _arm(self) -> ModelLike:
         """The live model, (re)loading weights if necessary."""
@@ -168,11 +199,13 @@ def quantized_engine(store_path: str | Path) -> SupervisedModelEngine:
     """The default serving engine: int8 weights, memory-mapped reload."""
     path = Path(store_path)
     return SupervisedModelEngine(
-        "quantized", lambda: load_weight_store(path).quantized())
+        "quantized", lambda: load_weight_store(path).quantized(),
+        store_builder=lambda store: store.quantized())
 
 
 def float_engine(store_path: str | Path) -> SupervisedModelEngine:
     """The float64 engine (first fallback rung)."""
     path = Path(store_path)
     return SupervisedModelEngine(
-        "float", lambda: load_weight_store(path).predictor())
+        "float", lambda: load_weight_store(path).predictor(),
+        store_builder=lambda store: store.predictor())

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.config.configuration import MicroarchConfig
+from repro.model.serialize import WeightStore
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.engine import (
     BaselineEngine,
@@ -73,6 +74,21 @@ class DegradationLadder:
         if self.model_engines:
             return self.model_engines[0].tier
         return (self.static or self.baseline).tier
+
+    def swap_from_store(self, store: WeightStore) -> int:
+        """Warm-swap every model rung onto a freshly loaded store.
+
+        All replacement models are built *before* any engine is
+        touched: if building one raises (a malformed matrix that
+        slipped past the manifest checks), every rung keeps its old
+        weights — a hot reload is all-or-nothing, never a partial
+        swap.  Returns the number of engines swapped.
+        """
+        swaps = [(engine, model) for engine in self.model_engines
+                 if (model := engine.build_model(store)) is not None]
+        for engine, model in swaps:
+            engine.swap_model(model)
+        return len(swaps)
 
     def fallback(self, programs: Sequence[str | None]
                  ) -> tuple[list[MicroarchConfig], str]:

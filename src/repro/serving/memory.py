@@ -1,0 +1,166 @@
+"""Process-memory accounting for the shard fleet.
+
+The whole point of serving N shards over one memory-mapped weight
+store is that the float64 + int8 matrices are **physically shared
+pages**: each shard maps the same file-backed inodes read-only, so the
+fleet pays for one copy of the weights in RAM, not N.  ``VmRSS`` alone
+cannot prove that — shared pages are charged to *every* process's RSS
+— so this module reads ``/proc/<pid>/smaps``, which splits every
+mapping into proportional (``Pss``) and private-dirty components:
+
+* a weight mapping that is genuinely shared is **file-backed** with
+  ``Private_Dirty == 0`` (nobody copied-on-write), and
+* summed across the fleet, the weight mappings' ``Pss`` converges on
+  ~1× the store size instead of N×.
+
+Linux-only by nature; callers gate on :func:`smaps_supported`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "MappingStats",
+    "WeightMappingReport",
+    "smaps_supported",
+    "rss_bytes",
+    "weight_mappings",
+    "weight_mapping_report",
+]
+
+_HEADER = re.compile(
+    r"^[0-9a-f]+-[0-9a-f]+\s+(\S{4})\s+\S+\s+\S+\s+(\d+)\s*(.*)$")
+_FIELD = re.compile(r"^([A-Za-z_]+):\s+(\d+)\s+kB$")
+
+
+def smaps_supported() -> bool:
+    """Whether this kernel exposes per-mapping smaps accounting."""
+    return os.path.exists("/proc/self/smaps")
+
+
+def rss_bytes(pid: int | None = None) -> int:
+    """``VmRSS`` of ``pid`` (default: this process), in bytes.
+
+    Raises:
+        OSError: no /proc entry (non-Linux, or the process is gone).
+    """
+    status = Path(f"/proc/{pid if pid is not None else 'self'}/status")
+    for line in status.read_text(encoding="ascii").splitlines():
+        if line.startswith("VmRSS:"):
+            return int(line.split()[1]) * 1024
+    raise OSError(f"no VmRSS line in {status}")
+
+
+@dataclass(frozen=True)
+class MappingStats:
+    """One ``/proc/<pid>/smaps`` mapping, sizes in bytes."""
+
+    path: str
+    writable: bool
+    inode: int
+    size: int
+    rss: int
+    pss: int
+    shared_clean: int
+    private_clean: int
+    private_dirty: int
+
+    @property
+    def file_backed(self) -> bool:
+        return self.inode != 0
+
+
+def _iter_smaps(pid: int | None) -> Iterator[MappingStats]:
+    smaps = Path(f"/proc/{pid if pid is not None else 'self'}/smaps")
+    perms = ""
+    inode = 0
+    path = ""
+    fields: dict[str, int] = {}
+
+    def flush() -> Iterator[MappingStats]:
+        if perms:
+            yield MappingStats(
+                path=path,
+                writable="w" in perms,
+                inode=inode,
+                size=fields.get("Size", 0) * 1024,
+                rss=fields.get("Rss", 0) * 1024,
+                pss=fields.get("Pss", 0) * 1024,
+                shared_clean=fields.get("Shared_Clean", 0) * 1024,
+                private_clean=fields.get("Private_Clean", 0) * 1024,
+                private_dirty=fields.get("Private_Dirty", 0) * 1024,
+            )
+
+    with smaps.open("r", encoding="ascii", errors="replace") as handle:
+        for line in handle:
+            header = _HEADER.match(line)
+            if header:
+                yield from flush()
+                perms = header.group(1)
+                inode = int(header.group(2))
+                path = header.group(3).strip()
+                fields = {}
+                continue
+            field = _FIELD.match(line.strip())
+            if field:
+                fields[field.group(1)] = int(field.group(2))
+    yield from flush()
+
+
+def weight_mappings(store_directory: str | Path,
+                    pid: int | None = None) -> list[MappingStats]:
+    """The smaps mappings of ``pid`` that belong to the weight store.
+
+    Matched by path prefix against the resolved store directory, so
+    every mmap-ed ``.npy`` of the store is captured regardless of how
+    the process referred to it.
+    """
+    prefix = str(Path(store_directory).resolve())
+    return [stats for stats in _iter_smaps(pid)
+            if stats.path.startswith(prefix)]
+
+
+@dataclass(frozen=True)
+class WeightMappingReport:
+    """Aggregated weight-store mapping evidence for one process."""
+
+    pid: int
+    mappings: tuple[MappingStats, ...]
+
+    @property
+    def rss(self) -> int:
+        return sum(m.rss for m in self.mappings)
+
+    @property
+    def pss(self) -> int:
+        return sum(m.pss for m in self.mappings)
+
+    @property
+    def private_dirty(self) -> int:
+        return sum(m.private_dirty for m in self.mappings)
+
+    @property
+    def shared(self) -> bool:
+        """All weight mappings are read-only file maps with no
+        written-to (copied) pages — the page-sharing invariant."""
+        return bool(self.mappings) and all(
+            m.file_backed and not m.writable and m.private_dirty == 0
+            for m in self.mappings)
+
+
+def weight_mapping_report(store_directory: str | Path,
+                          pid: int | None = None) -> WeightMappingReport:
+    """smaps evidence that ``pid``'s weight-store pages are shared.
+
+    Raises:
+        OSError: smaps unavailable (gate on :func:`smaps_supported`).
+    """
+    return WeightMappingReport(
+        pid=pid if pid is not None else os.getpid(),
+        mappings=tuple(weight_mappings(store_directory, pid)),
+    )

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import signal
+import socket
 from collections import Counter
 from typing import Awaitable
 
@@ -85,6 +86,14 @@ class PredictionServer:
         host/port: listen address; port 0 picks a free port (read it
             back from :attr:`port` after :meth:`start`).
         queue_limit: admission bound; requests beyond it are shed.
+        sock: an already-bound listening socket to serve on instead of
+            ``host``/``port`` — the shard supervisor's inherited-socket
+            fallback (every shard accepts from one shared socket).
+        reuse_port: bind with ``SO_REUSEPORT`` so N shard processes
+            can listen on the *same* ``(host, port)`` and the kernel
+            load-balances accepted connections among them.
+        shard_id: this process's position in the shard fleet; stamped
+            into :meth:`stats` and per-shard metrics.
     """
 
     def __init__(
@@ -94,6 +103,9 @@ class PredictionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         queue_limit: int = 64,
+        sock: socket.socket | None = None,
+        reuse_port: bool = False,
+        shard_id: int | None = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
@@ -102,7 +114,11 @@ class PredictionServer:
             engine_budget_s=ladder.engine_budget_s, clock=ladder.clock)
         self.host = host
         self._requested_port = port
+        self._sock = sock
+        self.reuse_port = reuse_port
+        self.shard_id = shard_id
         self.queue_limit = queue_limit
+        self._connections: set[_Connection] = set()
         self._queue: asyncio.Queue[PendingRequest] = asyncio.Queue(
             maxsize=queue_limit)
         self._server: asyncio.base_events.Server | None = None
@@ -116,9 +132,15 @@ class PredictionServer:
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self._requested_port,
-            limit=MAX_FRAME_BYTES + 2)
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self._sock,
+                limit=MAX_FRAME_BYTES + 2)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self._requested_port,
+                limit=MAX_FRAME_BYTES + 2,
+                reuse_port=self.reuse_port or None)
         self._batch_task = asyncio.create_task(self._batch_loop())
 
     @property
@@ -160,11 +182,27 @@ class PredictionServer:
     async def serve_until_drained(self) -> None:
         await self._drained.wait()
 
+    async def wait_connections_closed(self, timeout_s: float = 5.0) -> bool:
+        """Wait (bounded) for clients to hang up after a drain.
+
+        Keeps the process alive long enough that frames arriving on
+        surviving connections get their explicit ``shed`` response
+        instead of a connection reset.  Returns ``True`` if every
+        connection closed within ``timeout_s``.
+        """
+        give_up = self.policy.clock() + timeout_s
+        while self._connections:
+            if self.policy.clock() >= give_up:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
     # -- connection handling ---------------------------------------------------
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         conn = _Connection(writer)
+        self._connections.add(conn)
         try:
             while True:
                 try:
@@ -191,6 +229,7 @@ class PredictionServer:
                 if not await self._handle_frame(line, conn):
                     break
         finally:
+            self._connections.discard(conn)
             if not writer.is_closing():
                 writer.close()
                 try:
@@ -315,7 +354,12 @@ class PredictionServer:
         """Operational counters for drills/tests (obs-independent)."""
         restarts = sum(engine.restarts
                        for engine in self.ladder.model_engines)
+        reloads = sum(engine.reloads
+                      for engine in self.ladder.model_engines)
         return {
+            "shard_id": self.shard_id,
+            "open_connections": len(self._connections),
+            "engine_reloads": reloads,
             "requests": self.counts["request"],
             "ok": self.counts["ok"],
             "shed": self.counts["shed"],

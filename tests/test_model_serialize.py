@@ -1,11 +1,12 @@
 """Tests for predictor save/load and the serving weight store."""
 
 import json
+import multiprocessing
 
 import numpy as np
 import pytest
 
-from repro.config import DesignSpace
+from repro.config import DesignSpace, TABLE1_PARAMETERS
 from repro.experiments.errors import CorruptInputError, FaultClass, classify
 from repro.model import (
     ConfigurationPredictor,
@@ -15,6 +16,8 @@ from repro.model import (
     save_predictor,
     save_weight_store,
 )
+from repro.model.serialize import manifest_digest
+from repro.serving.memory import smaps_supported, weight_mapping_report
 
 
 @pytest.fixture(scope="module")
@@ -180,3 +183,169 @@ class TestWeightStoreCorruption:
         (store / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="flux_capacitor"):
             load_weight_store(store)
+
+
+class TestManifestDigest:
+    """The supervisor's hot-reload change detector."""
+
+    def test_digest_is_stable_and_matches_loaded_store(self, store):
+        digest = manifest_digest(store)
+        assert digest == manifest_digest(store)
+        assert load_weight_store(store).manifest_sha == digest
+
+    def test_republish_moves_the_digest(self, trained, store):
+        predictor, _ = trained
+        digest = manifest_digest(store)
+        other = ConfigurationPredictor.from_weights(
+            {name: weights * 1.5
+             for name, weights in predictor.weights_state().items()},
+            parameters=predictor.parameters,
+            regularization=predictor.regularization)
+        save_weight_store(other, store)
+        assert manifest_digest(store) != digest
+
+    def test_missing_manifest_is_classified_corruption(self, store):
+        (store / "manifest.json").unlink()
+        with pytest.raises(CorruptInputError) as excinfo:
+            manifest_digest(store)
+        assert classify(excinfo.value) is FaultClass.CORRUPT_INPUT
+
+    def test_checksum_mismatch_during_reload_poll_never_partially_swaps(
+            self, store):
+        """The hot-reload sequence over a damaged republish: the
+        freshly polled store fails validation with a *classified*
+        error, and the previously loaded store keeps answering —
+        nothing was swapped out from under it."""
+        held = load_weight_store(store)
+        batch = np.ones((3, 2))
+        before = held.quantized().predict_batch(batch)
+        victim = store / "float_width.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[-8:] = b"\xee" * 8
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(CorruptInputError) as excinfo:
+            load_weight_store(store)
+        assert classify(excinfo.value) is FaultClass.CORRUPT_INPUT
+        assert held.quantized().predict_batch(batch) == before
+
+
+class TestAtomicRepublish:
+    """Re-saving over a live store must never disturb existing maps."""
+
+    def test_old_mmap_survives_republish(self, trained, tmp_path):
+        predictor, features = trained
+        directory = save_weight_store(predictor, tmp_path / "live")
+        held = load_weight_store(directory, mmap=True)
+        batch = np.stack(features)
+        before = held.predictor().predict_batch(batch)
+        other = ConfigurationPredictor.from_weights(
+            {name: -weights
+             for name, weights in predictor.weights_state().items()},
+            parameters=predictor.parameters,
+            regularization=predictor.regularization)
+        save_weight_store(other, directory)
+        # The held (old-inode) maps still answer exactly as before; a
+        # truncating in-place rewrite would SIGBUS or corrupt here.
+        assert held.predictor().predict_batch(batch) == before
+        # A fresh load sees the republished weights.
+        fresh = load_weight_store(directory, mmap=True)
+        assert (fresh.predictor().predict_batch(batch)
+                == other.predict_batch(batch))
+
+    def test_no_temp_files_left_behind(self, store):
+        assert not list(store.glob("*.tmp-*"))
+
+
+# -- page sharing across processes ------------------------------------------
+
+BIG_FEATURE_DIM = 4096
+
+
+def _big_predictor() -> ConfigurationPredictor:
+    rng = np.random.default_rng(7)
+    weights = {p.name: rng.normal(size=(BIG_FEATURE_DIM, len(p.values)))
+               for p in TABLE1_PARAMETERS}
+    return ConfigurationPredictor.from_weights(weights)
+
+
+def _hold_store_mapped(store_path: str, ready, release) -> None:
+    """Child: mmap-load the store, fault every page in, then hold the
+    maps alive until the parent has read our smaps."""
+    store = load_weight_store(store_path, mmap=True)
+    touched = 0.0
+    for mapping in (store.float_weights, store.int8_weights):
+        for array in mapping.values():
+            touched += float(np.sum(np.asarray(array, dtype=np.float64)))
+    assert np.isfinite(touched)
+    ready.set()
+    release.wait(timeout=120)
+
+
+class TestPageSharingAcrossProcesses:
+    @pytest.mark.skipif(not smaps_supported(),
+                        reason="/proc/<pid>/smaps unavailable")
+    def test_two_processes_share_one_copy_of_the_weights(self, tmp_path):
+        directory = save_weight_store(_big_predictor(), tmp_path / "big")
+        nbytes = load_weight_store(directory, mmap=True).nbytes
+        context = multiprocessing.get_context("spawn")
+        ready = [context.Event() for _ in range(2)]
+        release = context.Event()
+        children = [
+            context.Process(target=_hold_store_mapped,
+                            args=(str(directory), ready[n], release))
+            for n in range(2)
+        ]
+        for child in children:
+            child.start()
+        try:
+            for event in ready:
+                assert event.wait(timeout=120)
+            reports = [weight_mapping_report(directory, child.pid)
+                       for child in children]
+        finally:
+            release.set()
+            for child in children:
+                child.join(timeout=60)
+        assert all(child.exitcode == 0 for child in children)
+        for report in reports:
+            # Every weight mapping is a read-only *file-backed* map
+            # with zero written (copied) pages: page cache, not copies.
+            assert report.mappings
+            assert report.shared
+            assert report.private_dirty == 0
+            # All pages faulted in: the full store is resident.
+            assert report.rss >= 0.9 * nbytes
+        total_rss = sum(report.rss for report in reports)
+        total_pss = sum(report.pss for report in reports)
+        # RSS double-counts the shared pages (2 × store size); Pss
+        # splits them — the fleet pays ~1× the store, not N×.
+        assert total_rss >= 1.8 * nbytes
+        assert total_pss <= 0.75 * total_rss
+        assert total_pss <= 1.3 * nbytes
+
+
+class TestZeroCopyRebuild:
+    """The rebuilt predictors are views over the store's arrays."""
+
+    def test_float_predictor_shares_store_memory(self, store):
+        loaded = load_weight_store(store, mmap=True)
+        predictor = loaded.predictor()
+        for name, array in loaded.float_weights.items():
+            assert np.shares_memory(
+                predictor.classifiers[name].weights, array)
+
+    def test_quantized_predictor_shares_store_memory(self, store):
+        loaded = load_weight_store(store, mmap=True)
+        quantized = loaded.quantized()
+        for name, array in loaded.int8_weights.items():
+            assert np.shares_memory(
+                quantized._matrices[name].weights, array)
+
+    def test_from_weights_copy_true_still_copies(self, store):
+        loaded = load_weight_store(store, mmap=True)
+        owned = ConfigurationPredictor.from_weights(
+            loaded.float_weights, parameters=loaded.parameters,
+            regularization=loaded.regularization)
+        for name, array in loaded.float_weights.items():
+            assert not np.shares_memory(
+                owned.classifiers[name].weights, array)
