@@ -1,9 +1,15 @@
 """Runtime adaptivity control: the figure 2 loop and its overhead models."""
 
+from repro.control.accounting import (
+    ReconfigurationCharge,
+    charge_reconfiguration,
+    overhead_scale,
+)
 from repro.control.adaptation_frequency import (
     AdaptationFrequencyAnalysis,
     StructureChurn,
     analyze_adaptation_frequencies,
+    recommended_interval,
 )
 from repro.control.controller import (
     AdaptiveController,
@@ -30,10 +36,14 @@ __all__ = [
     "CycleIntervalRunner",
     "FastIntervalRunner",
     "IntervalRecord",
+    "ReconfigurationCharge",
     "ReconfigurationCost",
     "ReconfigurationModel",
     "StructureChurn",
     "analyze_adaptation_frequencies",
+    "charge_reconfiguration",
+    "overhead_scale",
     "plan_set_sampling",
+    "recommended_interval",
     "sampling_energy_overheads",
 ]

@@ -16,6 +16,7 @@ only move when the gain persists.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.config.configuration import MicroarchConfig
@@ -27,7 +28,7 @@ from repro.timing.interval import IntervalEvaluator
 from repro.workloads.program import Program
 
 __all__ = ["StructureChurn", "AdaptationFrequencyAnalysis",
-           "analyze_adaptation_frequencies"]
+           "analyze_adaptation_frequencies", "recommended_interval"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,24 @@ class AdaptationFrequencyAnalysis:
                 f"{churn.recommended_interval:>8d} ivl"
             )
         return "\n".join(lines)
+
+
+def recommended_interval(change_rate: float, reconfig_cycles: int,
+                         sampled_intervals: int) -> int:
+    """How often a structure should be allowed to re-adapt.
+
+    Re-adapt when the expected churn interval is longer than the time to
+    amortise one reconfiguration.  A simple rule: ``1/change_rate``
+    intervals, stretched for expensive structures (log factor of the
+    Table V cost), capped at ten times the sampled window so a structure
+    that never churned still gets a finite recommendation.
+    """
+    if change_rate < 0:
+        raise ValueError("change_rate must be >= 0")
+    base = 1.0 / max(change_rate, 1e-3)
+    stretch = 1.0 + math.log10(max(reconfig_cycles, 10)) / 2.0
+    recommended = max(1, round(base * stretch))
+    return min(recommended, 10 * max(sampled_intervals, 1))
 
 
 def _optimal_value(
@@ -130,22 +149,17 @@ def analyze_adaptation_frequencies(
                 step_total += abs(parameter.index_of(current)
                                   - parameter.index_of(previous))
         transitions = len(optima) - 1
-        change_rate = changes / transitions
+        # A single-interval program has no transitions: zero observed
+        # churn, not a division error.
+        change_rate = changes / transitions if transitions else 0.0
         cycles = table5[param_structure[parameter.name]]
-        # Recommendation: re-adapt when the expected churn interval is
-        # longer than the time to amortise one reconfiguration.  A simple
-        # rule: 1/change_rate intervals, stretched for expensive
-        # structures (log factor of the Table V cost).
-        import math
-        base = 1.0 / max(change_rate, 1e-3)
-        stretch = 1.0 + math.log10(max(cycles, 10)) / 2.0
-        recommended = max(1, round(base * stretch))
         structures[parameter.name] = StructureChurn(
             parameter=parameter.name,
             change_rate=change_rate,
             mean_step=step_total / changes if changes else 0.0,
             reconfig_cycles=cycles,
-            recommended_interval=min(recommended, 10 * count),
+            recommended_interval=recommended_interval(change_rate, cycles,
+                                                      count),
         )
     return AdaptationFrequencyAnalysis(program=program.name,
                                        structures=structures)

@@ -1,0 +1,77 @@
+"""The policy arena: pluggable adaptivity controllers, head-to-head.
+
+See :mod:`repro.control.arena.policy` for the interface,
+:mod:`repro.control.arena.harness` for the league machinery and
+``docs/arena.md`` for the guide.
+"""
+
+from repro.control.arena.bandit import EpsilonGreedyPolicy, LinUCBPolicy
+from repro.control.arena.harness import (
+    DEFAULT_SCENARIOS,
+    ORACLE_NAME,
+    Arena,
+    ArenaRewardError,
+    ArenaScenario,
+    LeagueRow,
+    LeagueTable,
+    PolicyRunReport,
+    interval_reward,
+)
+from repro.control.arena.policies import (
+    PhaseDistancePolicy,
+    SoftmaxPolicy,
+    StaticPolicy,
+    predictor_digest,
+)
+from repro.control.arena.policy import (
+    AdaptivityPolicy,
+    PolicyDecision,
+    PolicyFeedback,
+    PolicyView,
+)
+from repro.control.arena.tabular import (
+    TabularForced,
+    TabularGreedy,
+    TabularPolicy,
+    TabularRandom,
+    TabularRun,
+    TabularScenario,
+    TabularStatic,
+    TabularSticky,
+    run_tabular,
+    static_score,
+    tabular_oracle,
+)
+
+__all__ = [
+    "AdaptivityPolicy",
+    "Arena",
+    "ArenaRewardError",
+    "ArenaScenario",
+    "DEFAULT_SCENARIOS",
+    "EpsilonGreedyPolicy",
+    "LeagueRow",
+    "LeagueTable",
+    "LinUCBPolicy",
+    "ORACLE_NAME",
+    "PhaseDistancePolicy",
+    "PolicyDecision",
+    "PolicyFeedback",
+    "PolicyRunReport",
+    "PolicyView",
+    "SoftmaxPolicy",
+    "StaticPolicy",
+    "TabularForced",
+    "TabularGreedy",
+    "TabularPolicy",
+    "TabularRandom",
+    "TabularRun",
+    "TabularScenario",
+    "TabularStatic",
+    "TabularSticky",
+    "interval_reward",
+    "predictor_digest",
+    "run_tabular",
+    "static_score",
+    "tabular_oracle",
+]

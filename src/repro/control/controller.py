@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config.configuration import PROFILING_CONFIG, MicroarchConfig
+from repro.control.accounting import charge_reconfiguration
 from repro.control.reconfiguration import ReconfigurationModel
 from repro.counters.collector import collect_counters
 from repro.counters.features import FeatureExtractor
@@ -32,7 +33,6 @@ from repro.power.wattch import account
 from repro.timing.characterize import characterize
 from repro.timing.cycle import CycleSimulator
 from repro.timing.interval import IntervalEvaluator
-from repro.timing.resources import derive_machine_params
 from repro.workloads.program import Program
 from repro.workloads.trace import Trace
 
@@ -217,20 +217,12 @@ class AdaptiveController:
                 )
                 record.reconfigured = True
                 if self.overheads_enabled:
-                    scale = 1.0
-                    if self.paper_interval_instructions:
-                        scale = min(1.0, program.interval_length
-                                    / self.paper_interval_instructions)
-                    params = derive_machine_params(target)
-                    stall_ns = cost.stall_cycles * params.period_ns * scale
-                    idle_power_mw = (
-                        params.total_leakage_mw
-                        + params.clock_energy_pj_per_cycle / params.period_ns
+                    charge = charge_reconfiguration(
+                        cost, target, program.interval_length,
+                        self.paper_interval_instructions,
                     )
-                    record.stall_ns = stall_ns
-                    record.reconfig_energy_pj = (
-                        cost.energy_pj * scale + idle_power_mw * stall_ns
-                    )
+                    record.stall_ns = charge.stall_ns
+                    record.reconfig_energy_pj = charge.energy_pj
                 current = target
 
             report.records.append(record)

@@ -1,0 +1,91 @@
+"""Pipeline entry point for the policy arena.
+
+Builds the default policy roster off a trained
+:class:`~repro.experiments.pipeline.ExperimentPipeline` — the paper's
+softmax controller, its counters-only ablation, the two bandits, the
+phase-distance hysteresis controller and the static-best baseline — and
+runs the head-to-head league over the pipeline's benchmark suite under
+each overhead scenario.  ``scripts/bench_arena.py`` is the CLI wrapper.
+
+Per-policy runs are cached in the pipeline's :class:`DataStore` under
+the scale tag, so re-running a league after adding one policy only
+prices the new rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import obs
+from repro.control.arena import (
+    DEFAULT_SCENARIOS,
+    AdaptivityPolicy,
+    Arena,
+    ArenaScenario,
+    EpsilonGreedyPolicy,
+    LeagueTable,
+    LinUCBPolicy,
+    PhaseDistancePolicy,
+    SoftmaxPolicy,
+    StaticPolicy,
+)
+from repro.experiments.pipeline import ExperimentPipeline
+
+__all__ = ["build_arena", "build_default_policies", "run_arena"]
+
+
+def build_arena(pipeline: ExperimentPipeline, *,
+                max_intervals: int | None = None,
+                use_store: bool = True) -> Arena:
+    """An :class:`Arena` over the pipeline's suite and static baseline."""
+    return Arena(
+        pipeline.programs,
+        pipeline.baseline_config,
+        max_intervals=max_intervals,
+        store=pipeline.store if use_store else None,
+        cache_tag=pipeline.scale.tag,
+    )
+
+
+def build_default_policies(pipeline: ExperimentPipeline, *,
+                           seed: int = 0) -> list[AdaptivityPolicy]:
+    """The six-strong default roster (ISSUE 10 acceptance list).
+
+    The bandits' arm set is the pipeline's shared configuration pool
+    plus the static baseline — the same candidates every other
+    experiment draws from, so league differences come from *policy*,
+    not from access to different hardware points.
+    """
+    advanced = pipeline.full_predictor("advanced")
+    basic = pipeline.full_predictor("basic")
+    arms = [*pipeline.pool, pipeline.baseline_config]
+    return [
+        SoftmaxPolicy(advanced),
+        SoftmaxPolicy(basic, feature_set="basic", name="counters-only"),
+        LinUCBPolicy(arms),
+        EpsilonGreedyPolicy(arms, seed=seed),
+        PhaseDistancePolicy(advanced),
+        StaticPolicy(pipeline.baseline_config),
+    ]
+
+
+def run_arena(
+    pipeline: ExperimentPipeline,
+    *,
+    scenarios: Sequence[ArenaScenario] = DEFAULT_SCENARIOS,
+    policies: Sequence[AdaptivityPolicy] | None = None,
+    max_intervals: int | None = None,
+    seed: int = 0,
+    use_store: bool = True,
+) -> dict[str, LeagueTable]:
+    """One league table per scenario, keyed by scenario name."""
+    arena = build_arena(pipeline, max_intervals=max_intervals,
+                        use_store=use_store)
+    roster = list(policies) if policies is not None else (
+        build_default_policies(pipeline, seed=seed))
+    leagues: dict[str, LeagueTable] = {}
+    with obs.span("arena.suite", scenarios=len(scenarios),
+                  policies=len(roster)):
+        for scenario in scenarios:
+            leagues[scenario.name] = arena.league(roster, scenario)
+    return leagues

@@ -235,6 +235,22 @@ def render_summary(records: list[dict[str, object]],
             lines.append(
                 f"  DSE surrogate R^2       "
                 f"{gauges['dse.surrogate_r2']:.3f}")
+    arena = {name: value for name, value in counters.items()
+             if name.startswith("arena.")}
+    if arena:
+        lines.append("  arena:")
+        for label, key in (
+            ("policy runs", "arena.runs"),
+            ("intervals played", "arena.intervals"),
+            ("reconfigurations", "arena.reconfigurations"),
+            ("profiled intervals", "arena.profiled_intervals"),
+        ):
+            lines.append(f"    {label:<21} {arena.get(key, 0.0):.0f}")
+        intervals = arena.get("arena.intervals", 0.0)
+        if intervals:
+            lines.append(
+                f"    reconfiguration rate  "
+                f"{arena.get('arena.reconfigurations', 0.0) / intervals:.1%}")
     serving = {name: value for name, value in counters.items()
                if name.startswith("serve.")}
     if serving:

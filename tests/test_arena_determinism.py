@@ -1,0 +1,113 @@
+"""Determinism tests: identical league tables across runs and processes.
+
+The arena's contract is that a league is a pure function of (programs,
+policies, scenario): two in-process runs agree bit-for-bit — including
+the online bandits' update trajectories — and a spawned worker process
+computing the same league from scratch produces the identical JSON.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import DesignSpace
+from repro.control.arena import (
+    Arena,
+    DEFAULT_SCENARIOS,
+    EpsilonGreedyPolicy,
+    LinUCBPolicy,
+    StaticPolicy,
+)
+from repro.workloads import PhaseSpec, Program
+
+#: Everything a worker needs to rebuild the exact same league: program,
+#: arm sample, roster and scenario are all derived from fixed seeds.
+_LEAGUE_SNIPPET = """
+import json
+from repro.config import DesignSpace
+from repro.control.arena import (Arena, DEFAULT_SCENARIOS,
+                                 EpsilonGreedyPolicy, LinUCBPolicy,
+                                 StaticPolicy)
+from repro.workloads import PhaseSpec, Program
+
+
+def build_league():
+    specs = (
+        PhaseSpec(name="det-a", code_blocks=24, footprint_blocks=128),
+        PhaseSpec(name="det-b", code_blocks=160, footprint_blocks=4096,
+                  fp_frac=0.4, branch_frac=0.1),
+    )
+    programs = {
+        "det-x": Program(name="det-x", phase_specs=specs,
+                         schedule=(0, 0, 1, 1, 0, 0, 1, 1),
+                         interval_length=2000, seed=11),
+        "det-y": Program(name="det-y", phase_specs=specs,
+                         schedule=(1, 1, 0, 0, 1, 1),
+                         interval_length=2000, seed=12),
+    }
+    space = DesignSpace(seed=7)
+    arms = list(space.random_sample(4))
+    baseline = arms[0]
+    arena = Arena(programs, baseline)
+    policies = [
+        LinUCBPolicy(arms),
+        EpsilonGreedyPolicy(arms, seed=3),
+        StaticPolicy(baseline),
+    ]
+    scenario = DEFAULT_SCENARIOS[0]
+    league = arena.league(policies, scenario)
+    trajectories = {
+        policy.name: {
+            program: {
+                "decisions": [list(c.as_indices()) for c in run.decisions],
+                "rewards": run.rewards,
+            }
+            for program, run in (
+                (p, arena.run_policy(policy, p, scenario))
+                for p in programs)
+        }
+        for policy in policies
+    }
+    return {"league": league.to_json(), "trajectories": trajectories}
+"""
+
+_WORKER = _LEAGUE_SNIPPET + """
+print(json.dumps(build_league(), sort_keys=True))
+"""
+
+_namespace: dict = {}
+exec(_LEAGUE_SNIPPET, _namespace)
+build_league = _namespace["build_league"]
+
+
+@pytest.fixture(scope="module")
+def in_process():
+    return json.loads(json.dumps(build_league(), sort_keys=True))
+
+
+def test_two_in_process_runs_agree(in_process):
+    """Same seeds, fresh arena and policies: identical league and
+    identical bandit update trajectories."""
+    again = json.loads(json.dumps(build_league(), sort_keys=True))
+    assert again == in_process
+
+
+def test_spawned_worker_agrees(in_process):
+    """A separate interpreter (spawn boundary: fresh module state, fresh
+    hash randomisation) reproduces the league bit-for-bit."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = subprocess.run(
+        [sys.executable, "-c", _WORKER],
+        capture_output=True, text=True, timeout=300,
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert json.loads(result.stdout) == in_process
+
+
+def test_league_row_order_is_deterministic(in_process):
+    rows = [row["policy"] for row in in_process["league"]["rows"]]
+    assert len(rows) == len(set(rows)) == 4  # 3 policies + oracle

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.control import analyze_adaptation_frequencies
+from repro.control import analyze_adaptation_frequencies, recommended_interval
 from repro.workloads import PhaseSpec, Program
 
 
@@ -72,3 +72,47 @@ class TestAdaptationFrequencies:
         with pytest.raises(ValueError):
             analyze_adaptation_frequencies(varied_program, baseline_config,
                                            max_intervals=1)
+
+
+class TestEdgeCases:
+    def test_single_interval_program(self, baseline_config):
+        """A one-interval program has no transitions: zero churn, not a
+        ZeroDivisionError."""
+        spec = PhaseSpec(name="af-one", code_blocks=20, footprint_blocks=64)
+        program = Program(name="one", phase_specs=(spec,), schedule=(0,),
+                          interval_length=3000, seed=7)
+        analysis = analyze_adaptation_frequencies(program, baseline_config,
+                                                  max_intervals=4)
+        for churn in analysis.structures.values():
+            assert churn.change_rate == 0.0
+            assert churn.mean_step == 0.0
+            assert churn.recommended_interval >= 1
+
+    def test_single_phase_program_has_low_churn(self, baseline_config):
+        """One phase repeated: trace noise aside, optima barely move."""
+        spec = PhaseSpec(name="af-flat", code_blocks=20, footprint_blocks=64)
+        program = Program(name="flat", phase_specs=(spec,),
+                          schedule=(0,) * 6, interval_length=3000, seed=8)
+        analysis = analyze_adaptation_frequencies(program, baseline_config,
+                                                  max_intervals=4)
+        rates = [c.change_rate for c in analysis.structures.values()]
+        assert sum(rates) / len(rates) < 0.5
+
+
+class TestRecommendedInterval:
+    def test_zero_churn_recommends_the_cap(self):
+        assert recommended_interval(0.0, 100, 8) == 80
+
+    def test_full_churn_recommends_short_interval(self):
+        fast = recommended_interval(1.0, 100, 8)
+        slow = recommended_interval(0.1, 100, 8)
+        assert 1 <= fast < slow
+
+    def test_cost_stretches_the_interval(self):
+        cheap = recommended_interval(0.5, 10, 8)
+        dear = recommended_interval(0.5, 1_000_000, 8)
+        assert dear >= cheap
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            recommended_interval(-0.1, 100, 8)

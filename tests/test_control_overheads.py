@@ -42,6 +42,37 @@ class TestPlan:
             plan_set_sampling([])
 
 
+class TestEdgeCases:
+    def test_single_phase_trace(self):
+        """A plan from one lone phase trace is still well-formed."""
+        trace = TraceGenerator(
+            PhaseSpec(name="ov-solo", footprint_blocks=128,
+                      code_blocks=20)).generate(1000)
+        plan = plan_set_sampling([trace], fidelity_threshold=0.85)
+        for count in plan.sampled_sets.values():
+            assert count >= 1
+
+    def test_tiny_footprint_trace(self):
+        """A minimum-footprint phase (a handful of blocks) needs the
+        minimum sampled sets, not a crash."""
+        trace = TraceGenerator(
+            PhaseSpec(name="ov-tiny", footprint_blocks=4, code_blocks=2,
+                      load_frac=0.05, store_frac=0.0)).generate(500)
+        plan = plan_set_sampling([trace], fidelity_threshold=0.85)
+        for count in plan.sampled_sets.values():
+            assert count >= 1
+
+    def test_overheads_positive_even_for_minimal_plan(self):
+        trace = TraceGenerator(
+            PhaseSpec(name="ov-min", footprint_blocks=8,
+                      code_blocks=4)).generate(500)
+        plan = plan_set_sampling([trace], fidelity_threshold=0.85)
+        overheads = sampling_energy_overheads(plan)
+        for result in overheads.values():
+            assert result.dynamic_frac > 0.0
+            assert result.leakage_frac > 0.0
+
+
 class TestEnergyOverheads:
     def test_overheads_for_every_pair(self, traces):
         plan = plan_set_sampling(traces, fidelity_threshold=0.85)

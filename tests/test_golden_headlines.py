@@ -22,6 +22,10 @@ import math
 
 import pytest
 
+from repro.control import AdaptiveController
+from repro.control.arena import DEFAULT_SCENARIOS, SoftmaxPolicy
+from repro.counters.features import AdvancedFeatureExtractor
+from repro.experiments.arena import build_arena
 from repro.experiments.figures import figure4, figure6
 
 RTOL = 0.02
@@ -101,3 +105,30 @@ def test_oracle_beats_baseline_on_every_benchmark(fig6):
     for name in fig6.oracle:
         assert fig6.oracle[name] >= 1.0 - 1e-12, name
         assert math.isfinite(fig6.model[name])
+
+
+def test_softmax_via_arena_is_bit_identical_to_controller(quick_pipeline):
+    """ISSUE 10 golden guard on the quick suite: routing the paper's
+    softmax controller through the arena's policy interface reproduces
+    ``AdaptiveController``'s decisions and accounting bit-for-bit on
+    every quick-scale program.  Any divergence means the refactor
+    changed the controller's semantics."""
+    predictor = quick_pipeline.full_predictor("advanced")
+    arena = build_arena(quick_pipeline, max_intervals=12, use_store=False)
+    paper = DEFAULT_SCENARIOS[0]
+    policy = SoftmaxPolicy(predictor)
+    for name, program in quick_pipeline.programs.items():
+        run = arena.run_policy(policy, name, paper)
+        golden = AdaptiveController(
+            predictor, AdvancedFeatureExtractor()).run(program,
+                                                       max_intervals=12)
+        assert len(run.records) == len(golden.records), name
+        for ours, theirs in zip(run.records, golden.records):
+            assert ours.config == theirs.config, name
+            assert ours.profiled == theirs.profiled, name
+            assert ours.reconfigured == theirs.reconfigured, name
+            # Float equality is deliberate — bit-identity is the gate.
+            assert ours.time_ns == theirs.time_ns, name
+            assert ours.energy_pj == theirs.energy_pj, name
+            assert ours.stall_ns == theirs.stall_ns, name
+            assert ours.reconfig_energy_pj == theirs.reconfig_energy_pj, name
